@@ -1,0 +1,136 @@
+package rbcast_test
+
+// One benchmark per reproduced figure/table: each regenerates the
+// corresponding experiment end to end and fails if the paper's
+// qualitative claim stops holding, so `go test -bench=.` doubles as a
+// performance run and an evaluation re-check. The trailing benchmarks
+// measure raw simulator and protocol throughput.
+
+import (
+	"testing"
+	"time"
+
+	"rbcast"
+	"rbcast/internal/experiments"
+	"rbcast/internal/harness"
+	"rbcast/internal/sim"
+	"rbcast/internal/topo"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Check(); err != nil {
+			b.Fatalf("claim no longer holds: %v", err)
+		}
+	}
+}
+
+func BenchmarkFig31(b *testing.B)        { benchExperiment(b, "F3.1") }
+func BenchmarkFig32(b *testing.B)        { benchExperiment(b, "F3.2") }
+func BenchmarkFig41(b *testing.B)        { benchExperiment(b, "F4.1") }
+func BenchmarkE1Cost(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2Delay(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3Recovery(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4Partition(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5Congestion(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6Control(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7Tradeoff(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8Scale(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Cluster(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Piggyback(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Multi(b *testing.B)     { benchExperiment(b, "E11") }
+
+// BenchmarkSimulatorThroughput measures raw discrete-event throughput of
+// a full protocol broadcast: simulated events per wall-clock second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events uint64
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		rt, err := harness.Prepare(harness.Scenario{
+			Seed: 1,
+			Build: func(eng *sim.Engine) (*topo.Topology, error) {
+				return topo.Clustered(eng, topo.ClusteredConfig{
+					Clusters:        6,
+					HostsPerCluster: 4,
+					Shape:           topo.WANTree,
+				})
+			},
+			Protocol:         harness.ProtocolTree,
+			Messages:         30,
+			MsgInterval:      150 * time.Millisecond,
+			WarmUp:           3 * time.Second,
+			StopWhenComplete: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := rt.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatalf("broadcast incomplete (%d/%d)", res.DeliveredCount, res.ExpectedCount)
+		}
+		events += rt.Engine.EventsRun()
+		virtual += rt.Engine.Now()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds()/float64(b.N), "virtual-s/wall-s")
+}
+
+// BenchmarkPublicSimulate measures the facade's end-to-end cost.
+func BenchmarkPublicSimulate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := rbcast.Simulate(rbcast.SimulationConfig{
+			Clusters:        3,
+			HostsPerCluster: 3,
+			Messages:        20,
+			Seed:            1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkLiveFleetBroadcast measures real-time end-to-end latency of a
+// nine-host live fleet delivering a burst of ten messages.
+func BenchmarkLiveFleetBroadcast(b *testing.B) {
+	hosts := []rbcast.HostID{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	fleet, err := rbcast.StartFleet(rbcast.FleetConfig{
+		Hosts:    hosts,
+		Source:   1,
+		Clusters: [][]rbcast.HostID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Stop()
+	b.ResetTimer()
+	var total rbcast.Seq
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			seq, err := fleet.Broadcast([]byte("bench"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = seq
+		}
+		if !fleet.WaitDelivered(total, 30*time.Second) {
+			b.Fatal("burst not delivered")
+		}
+	}
+}

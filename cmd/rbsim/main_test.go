@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePartition(t *testing.T) {
+	events, err := parsePartition("2:5s:25s")
+	if err != nil {
+		t.Fatalf("parsePartition: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].At != 5*time.Second || events[1].At != 25*time.Second {
+		t.Errorf("event times = %v, %v", events[0].At, events[1].At)
+	}
+}
+
+func TestParsePartitionRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"2",
+		"2:5s",
+		"x:5s:25s",
+		"2:banana:25s",
+		"2:5s:banana",
+		"2:25s:5s", // end before start
+		"2:5s:5s",  // zero-length window
+	} {
+		if _, err := parsePartition(bad); err == nil {
+			t.Errorf("parsePartition(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Multi-source broadcast example (paper §2).
+//
+// "Here, we study only a single-source broadcast problem. However, a
+// multiple-source broadcast can be performed reliably by running several
+// identical single-source protocols."
+//
+// Three data centres each publish their own event stream; every host
+// subscribes to all three. Each stream is an independent instance of the
+// protocol — its own parent graph, INFO sets, and sequence numbers —
+// multiplexed over one transport. The example shows all streams
+// completing independently, including across a partition.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"rbcast"
+)
+
+func main() {
+	clusters := [][]rbcast.HostID{{1, 2}, {3, 4}, {5, 6}}
+	publishers := []rbcast.HostID{1, 3, 5} // one per data centre
+
+	var deliveries atomic.Int64
+	fleet, err := rbcast.StartFleet(rbcast.FleetConfig{
+		Hosts:    []rbcast.HostID{1, 2, 3, 4, 5, 6},
+		Source:   publishers[0],
+		Sources:  publishers[1:],
+		Clusters: clusters,
+		Seed:     3,
+		OnDeliver: func(host, stream rbcast.HostID, seq rbcast.Seq, _ []byte) {
+			deliveries.Add(1)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Stop()
+
+	fmt.Println("three publishers, six hosts, three clusters")
+	const per = 5
+	for i := 1; i <= per; i++ {
+		for _, p := range publishers {
+			payload := []byte(fmt.Sprintf("dc%d-event-%d", p, i))
+			if _, err := fleet.BroadcastFrom(p, payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, p := range publishers {
+		if !fleet.WaitStreamDelivered(p, per, 10*time.Second) {
+			log.Fatalf("stream %d did not complete", p)
+		}
+		fmt.Printf("  stream from host %d: all %d events at every host\n", p, per)
+	}
+
+	fmt.Println("partitioning the third data centre and publishing more…")
+	fleet.Transport.PartitionGroups(clusters)
+	for i := per + 1; i <= 2*per; i++ {
+		for _, p := range publishers {
+			if _, err := fleet.BroadcastFrom(p, []byte(fmt.Sprintf("dc%d-event-%d", p, i))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("healing…")
+	fleet.Transport.HealAll()
+	for _, p := range publishers {
+		if !fleet.WaitStreamDelivered(p, 2*per, 15*time.Second) {
+			log.Fatalf("stream %d did not recover", p)
+		}
+	}
+	fmt.Printf("every stream recovered; %d total deliveries (6 hosts × 3 streams × %d events)\n",
+		deliveries.Load(), 2*per)
+}

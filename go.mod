@@ -1,0 +1,3 @@
+module rbcast
+
+go 1.22

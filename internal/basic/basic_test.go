@@ -1,0 +1,191 @@
+package basic_test
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/basic"
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+)
+
+type sentMsg struct {
+	to core.HostID
+	m  basic.Message
+}
+
+type fakeEnv struct {
+	sent      []sentMsg
+	delivered []seqset.Seq
+}
+
+func (f *fakeEnv) Send(to core.HostID, m basic.Message) {
+	f.sent = append(f.sent, sentMsg{to: to, m: m})
+}
+
+func (f *fakeEnv) Deliver(seq seqset.Seq, _ []byte) {
+	f.delivered = append(f.delivered, seq)
+}
+
+func TestSourceValidation(t *testing.T) {
+	env := &fakeEnv{}
+	if _, err := basic.NewSource(0, nil, basic.Params{}, env); err == nil {
+		t.Error("source id 0 accepted")
+	}
+	if _, err := basic.NewSource(1, []core.HostID{2, 2}, basic.Params{}, env); err == nil {
+		t.Error("duplicate peers accepted")
+	}
+	if _, err := basic.NewSource(1, []core.HostID{2}, basic.Params{}, nil); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := basic.NewSource(1, []core.HostID{2}, basic.Params{RetryPeriod: -1, TickInterval: 1}, env); err == nil {
+		t.Error("negative retry period accepted")
+	}
+}
+
+func TestBroadcastFanout(t *testing.T) {
+	env := &fakeEnv{}
+	s, err := basic.NewSource(1, []core.HostID{1, 2, 3, 4}, basic.Params{}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Broadcast(0, []byte("x"))
+	if seq != 1 {
+		t.Errorf("seq = %d, want 1", seq)
+	}
+	if len(env.sent) != 3 { // self filtered out
+		t.Fatalf("sent %d copies, want 3", len(env.sent))
+	}
+	targets := map[core.HostID]bool{}
+	for _, sm := range env.sent {
+		if sm.m.Kind != basic.KindData || sm.m.Seq != 1 {
+			t.Errorf("bad copy %+v", sm)
+		}
+		targets[sm.to] = true
+	}
+	if !targets[2] || !targets[3] || !targets[4] {
+		t.Errorf("copies to %v, want 2,3,4", targets)
+	}
+	if s.Outstanding() != 3 {
+		t.Errorf("Outstanding = %d, want 3", s.Outstanding())
+	}
+	if len(env.delivered) != 1 {
+		t.Errorf("source local deliveries = %d, want 1", len(env.delivered))
+	}
+}
+
+func TestAcksRetireRetransmissions(t *testing.T) {
+	env := &fakeEnv{}
+	p := basic.DefaultParams()
+	s, err := basic.NewSource(1, []core.HostID{2, 3}, p, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(0) // arm the retry clock
+	s.Broadcast(0, []byte("x"))
+	s.HandleMessage(0, 2, basic.Message{Kind: basic.KindAck, Seq: 1})
+	if s.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d after one ack, want 1", s.Outstanding())
+	}
+	env.sent = nil
+	s.Tick(p.RetryPeriod * 2)
+	if len(env.sent) != 1 || env.sent[0].to != 3 {
+		t.Errorf("retransmissions = %v, want one to host 3", env.sent)
+	}
+	s.HandleMessage(0, 3, basic.Message{Kind: basic.KindAck, Seq: 1})
+	if s.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after all acks, want 0", s.Outstanding())
+	}
+	env.sent = nil
+	s.Tick(p.RetryPeriod * 4)
+	if len(env.sent) != 0 {
+		t.Errorf("retransmitted after full acknowledgment: %v", env.sent)
+	}
+}
+
+func TestRetryRespectsPeriod(t *testing.T) {
+	env := &fakeEnv{}
+	p := basic.Params{RetryPeriod: 100 * time.Millisecond, TickInterval: 10 * time.Millisecond}
+	s, err := basic.NewSource(1, []core.HostID{2}, p, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(0)
+	s.Broadcast(0, nil)
+	env.sent = nil
+	s.Tick(50 * time.Millisecond) // before the retry period
+	if len(env.sent) != 0 {
+		t.Errorf("retransmitted early: %v", env.sent)
+	}
+	s.Tick(150 * time.Millisecond)
+	if len(env.sent) != 1 {
+		t.Errorf("retransmissions = %d at 150ms, want 1", len(env.sent))
+	}
+}
+
+func TestDuplicateAcksHarmless(t *testing.T) {
+	env := &fakeEnv{}
+	s, err := basic.NewSource(1, []core.HostID{2}, basic.Params{}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Broadcast(0, nil)
+	for i := 0; i < 3; i++ {
+		s.HandleMessage(0, 2, basic.Message{Kind: basic.KindAck, Seq: 1})
+	}
+	s.HandleMessage(0, 2, basic.Message{Kind: basic.KindAck, Seq: 99}) // unknown seq
+	if s.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d, want 0", s.Outstanding())
+	}
+}
+
+func TestReceiverDeliversOnceAcksAlways(t *testing.T) {
+	env := &fakeEnv{}
+	r, err := basic.NewReceiver(2, 1, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := basic.Message{Kind: basic.KindData, Seq: 1, Payload: []byte("x")}
+	r.HandleMessage(0, 1, m)
+	r.HandleMessage(0, 1, m) // duplicate
+	if len(env.delivered) != 1 {
+		t.Errorf("delivered %d times, want 1", len(env.delivered))
+	}
+	acks := 0
+	for _, sm := range env.sent {
+		if sm.m.Kind == basic.KindAck && sm.m.Seq == 1 && sm.to == 1 {
+			acks++
+		}
+	}
+	if acks != 2 {
+		t.Errorf("acks = %d, want 2 (duplicates re-acknowledged)", acks)
+	}
+	if !r.Received().Contains(1) {
+		t.Error("Received() missing seq 1")
+	}
+}
+
+func TestReceiverIgnoresNonSourceData(t *testing.T) {
+	env := &fakeEnv{}
+	r, err := basic.NewReceiver(2, 1, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.HandleMessage(0, 3, basic.Message{Kind: basic.KindData, Seq: 1})
+	if len(env.delivered) != 0 || len(env.sent) != 0 {
+		t.Error("receiver processed data from a non-source host")
+	}
+}
+
+func TestReceiverValidation(t *testing.T) {
+	env := &fakeEnv{}
+	if _, err := basic.NewReceiver(1, 1, env); err == nil {
+		t.Error("receiver == source accepted")
+	}
+	if _, err := basic.NewReceiver(0, 1, env); err == nil {
+		t.Error("receiver id 0 accepted")
+	}
+	if _, err := basic.NewReceiver(2, 1, nil); err == nil {
+		t.Error("nil env accepted")
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"time"
+
+	"rbcast/internal/seqset"
+)
+
+// This file implements the §4.2 attachment procedure and the §4.3 cycle
+// rules.
+//
+// The procedure distinguishes three cases by the host's current parent:
+//
+//	Case I   — no parent;
+//	Case II  — parent in a different cluster (the host is a cluster
+//	           leader);
+//	Case III — parent in the same cluster.
+//
+// and tries that case's options in order until a candidate parent is
+// found or the options are exhausted. A found candidate gets an attach
+// request; on ack timeout the candidate is excluded and the procedure
+// repeats. Throughout, a host only ever attaches to a parent whose INFO
+// set (per MAP) is not smaller than its own — the invariant §4.3's
+// acyclicity argument rests on.
+
+// runAttachment activates the attachment procedure. fresh indicates a
+// periodic activation (which clears the excluded set) as opposed to an
+// immediate retry after a timeout or rejection.
+func (h *Host) runAttachment(now time.Duration, fresh bool) {
+	if h.IsSource() || h.attach.inProgress {
+		return
+	}
+	if fresh {
+		h.attach.excluded = nil
+	}
+	var cand HostID
+	switch {
+	case h.parent == Nil:
+		cand = h.pickCaseI()
+	case !h.cluster[h.parent]:
+		cand = h.pickCaseII()
+	default:
+		cand = h.pickCaseIII(now)
+	}
+	if cand == Nil {
+		return
+	}
+	h.attach.inProgress = true
+	h.attach.candidate = cand
+	h.attach.deadline = now + h.params.AttachTimeout
+	if h.attach.excluded == nil {
+		h.attach.excluded = make(map[HostID]bool)
+	}
+	h.emit(cand, Message{Kind: MsgAttachReq, Info: h.info.Clone()})
+}
+
+// eligible applies the filters common to every option: never self, never
+// the current parent (re-attaching is a no-op), never an excluded
+// candidate, and never a host whose INFO (per MAP) is smaller than ours.
+func (h *Host) eligible(j HostID) bool {
+	if j == h.id || j == h.parent || h.attach.excluded[j] {
+		return false
+	}
+	return seqset.LessOrSimilar(h.info, h.maps[j])
+}
+
+// viewsAsLeader reports whether, per p_i[], host j is a cluster leader:
+// its parent is NIL/unknown or lies outside this host's cluster view.
+func (h *Host) viewsAsLeader(j HostID) bool {
+	pj := h.parentOf[j]
+	return pj == Nil || !h.cluster[pj]
+}
+
+// best returns the candidate maximizing (INFO max, static order, id) —
+// a deterministic choice that prefers the freshest parent, and among
+// equals the highest-ordered one, so that a cluster converges on a single
+// leader.
+func (h *Host) best(cands []HostID) HostID {
+	var out HostID
+	for _, j := range cands {
+		if out == Nil {
+			out = j
+			continue
+		}
+		jm, om := h.maps[j].Max(), h.maps[out].Max()
+		switch {
+		case jm > om:
+			out = j
+		case jm == om && h.order[j] > h.order[out]:
+			out = j
+		case jm == om && h.order[j] == h.order[out] && j > out:
+			out = j
+		}
+	}
+	return out
+}
+
+// pickCaseI implements Case I (host currently without a parent).
+func (h *Host) pickCaseI() HostID {
+	// Option 1: a same-cluster leader with a strictly greater INFO set.
+	if j := h.optSameClusterLeaderGreater(); j != Nil {
+		return j
+	}
+	// Option 2: a same-cluster leader with a similar INFO set and a
+	// greater static order.
+	if j := h.optSameClusterLeaderSimilarHigherOrder(); j != Nil {
+		return j
+	}
+	// Option 3: a host in a different cluster with a greater INFO set.
+	return h.optOtherClusterGreaterThan(h.info)
+}
+
+// pickCaseII implements Case II (parent in a different cluster — the
+// host is a cluster leader).
+func (h *Host) pickCaseII() HostID {
+	// Options 1 and 2 are Case I's: prefer rejoining the cluster's tree.
+	if j := h.optSameClusterLeaderGreater(); j != Nil {
+		return j
+	}
+	if j := h.optSameClusterLeaderSimilarHigherOrder(); j != Nil {
+		return j
+	}
+	// Option 3: a host in a different cluster whose INFO exceeds the
+	// current parent's — the delay-chasing rule, which also detects a
+	// disconnected parent whose INFO view falls behind.
+	return h.optOtherClusterGreaterThan(h.maps[h.parent])
+}
+
+func (h *Host) optSameClusterLeaderGreater() HostID {
+	var cands []HostID
+	for _, j := range h.Cluster() {
+		if j == h.id || !h.eligible(j) {
+			continue
+		}
+		if h.viewsAsLeader(j) && seqset.Less(h.info, h.maps[j]) {
+			cands = append(cands, j)
+		}
+	}
+	return h.best(cands)
+}
+
+func (h *Host) optSameClusterLeaderSimilarHigherOrder() HostID {
+	var cands []HostID
+	for _, j := range h.Cluster() {
+		if j == h.id || !h.eligible(j) {
+			continue
+		}
+		if h.viewsAsLeader(j) && seqset.Similar(h.info, h.maps[j]) && h.order[h.id] < h.order[j] {
+			cands = append(cands, j)
+		}
+	}
+	return h.best(cands)
+}
+
+func (h *Host) optOtherClusterGreaterThan(bar seqset.Set) HostID {
+	var cands []HostID
+	for _, j := range h.peers {
+		if h.cluster[j] || !h.eligible(j) {
+			continue
+		}
+		if seqset.Less(bar, h.maps[j]) {
+			cands = append(cands, j)
+		}
+	}
+	return h.best(cands)
+}
+
+// pickCaseIII implements Case III (parent in the same cluster): attach to
+// an ancestor (other than the parent) that is a same-cluster leader with
+// an INFO set not smaller than the host's own. Walking the ancestor chain
+// doubles as the §4.3 intra-cluster cycle detector: a host that finds
+// itself among its own ancestors is on a cycle, and if it carries the
+// highest static order on that cycle it must detach and fall back to
+// Case I.
+func (h *Host) pickCaseIII(now time.Duration) HostID {
+	chain, cyclic := h.ancestorChain()
+	if cyclic {
+		if h.maxOrderOn(append(chain, h.id)) == h.id {
+			old := h.parent
+			h.parent = Nil
+			h.emit(old, Message{Kind: MsgDetach})
+			h.event(now, EvCycleBroken, old, 0)
+			return h.pickCaseI()
+		}
+		return Nil
+	}
+	for _, j := range chain {
+		if j == h.parent || !h.eligible(j) {
+			continue
+		}
+		if h.cluster[j] && h.viewsAsLeader(j) && seqset.LessOrSimilar(h.info, h.maps[j]) {
+			return j
+		}
+	}
+	return Nil
+}
+
+// ancestorChain follows p_i[] pointers from the parent upward. It returns
+// the ancestors in order and whether the walk returned to this host (an
+// intra-cluster cycle through i). The walk stops at NIL, at an unknown
+// pointer, at a repeated host, or after len(peers) steps.
+func (h *Host) ancestorChain() (chain []HostID, cyclic bool) {
+	visited := map[HostID]bool{h.id: true}
+	cur := h.parent
+	for steps := 0; steps < len(h.peers) && cur != Nil; steps++ {
+		if cur == h.id {
+			return chain, true
+		}
+		if visited[cur] {
+			// A cycle above us that does not pass through us; the hosts on
+			// it will break it themselves.
+			return chain, false
+		}
+		visited[cur] = true
+		chain = append(chain, cur)
+		cur = h.parentOf[cur]
+	}
+	return chain, false
+}
+
+// maxOrderOn returns the host with the greatest static order among hosts.
+func (h *Host) maxOrderOn(hosts []HostID) HostID {
+	var out HostID
+	for _, j := range hosts {
+		if out == Nil || h.order[j] > h.order[out] {
+			out = j
+		}
+	}
+	return out
+}
+
+// handleAttachReq processes an adoption request: the requester becomes a
+// child and immediately receives the messages it is missing (§4.4 attach
+// gap fill). A request from our own parent is declined — accepting would
+// instantly create a two-cycle.
+func (h *Host) handleAttachReq(now time.Duration, from HostID, m Message) {
+	if from == h.parent {
+		h.emit(from, Message{Kind: MsgAttachReject})
+		return
+	}
+	// Crossing requests (we asked from; from asked us) would form an
+	// instant two-cycle if both accepted; the lower-ordered host yields.
+	if h.attach.inProgress && h.attach.candidate == from && h.order[h.id] < h.order[from] {
+		h.emit(from, Message{Kind: MsgAttachReject})
+		return
+	}
+	h.learnInfo(from, m.Info)
+	h.parentOf[from] = h.id
+	if !h.children[from] {
+		h.children[from] = true
+		h.event(now, EvChildAdded, from, 0)
+	}
+	h.emit(from, Message{Kind: MsgAttachAccept, Info: h.info.Clone()})
+	// Forward what the child is missing and we have, up to the limit; the
+	// periodic neighbour gap fill covers any remainder.
+	missing := h.info.Diff(m.Info)
+	sent := 0
+	missing.Each(func(q seqset.Seq) bool {
+		payload, ok := h.store[q]
+		if !ok {
+			return true
+		}
+		h.sendMarking(from, Message{Kind: MsgData, Seq: q, Payload: payload, GapFill: true})
+		sent++
+		return sent < h.params.AttachFillLimit
+	})
+}
+
+// handleAttachAccept completes the handshake begun by runAttachment.
+func (h *Host) handleAttachAccept(now time.Duration, from HostID, m Message) {
+	if !h.attach.inProgress || from != h.attach.candidate {
+		// A stale acceptance from an earlier candidate: we are attached
+		// elsewhere by now, so correct the sender's CHILDREN set.
+		if from != h.parent {
+			h.emit(from, Message{Kind: MsgDetach})
+		}
+		return
+	}
+	old := h.parent
+	h.parent = from
+	h.parentOf[h.id] = from
+	h.lastFromParent = now
+	h.learnInfo(from, m.Info)
+	h.attach = attachState{}
+	if old != Nil && old != from {
+		// §4.2: the old parent is notified of the change.
+		h.emit(old, Message{Kind: MsgDetach})
+	}
+	h.event(now, EvAttached, from, 0)
+}
+
+// handleAttachReject excludes the candidate and retries immediately.
+func (h *Host) handleAttachReject(now time.Duration, from HostID) {
+	if !h.attach.inProgress || from != h.attach.candidate {
+		return
+	}
+	h.event(now, EvAttachFailed, from, 0)
+	if h.attach.excluded == nil {
+		h.attach.excluded = make(map[HostID]bool)
+	}
+	h.attach.excluded[from] = true
+	h.attach.inProgress = false
+	h.runAttachment(now, false)
+}

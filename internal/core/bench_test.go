@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+)
+
+type nullEnv struct{}
+
+func (nullEnv) Send(core.HostID, core.Message) {}
+func (nullEnv) Deliver(seqset.Seq, []byte)     {}
+
+func benchHost(b *testing.B, id core.HostID, n int) *core.Host {
+	b.Helper()
+	peers := make([]core.HostID, n)
+	for i := range peers {
+		peers[i] = core.HostID(i + 1)
+	}
+	h, err := core.NewHost(core.Config{
+		ID: id, Source: 1, Peers: peers, Params: core.DefaultParams(),
+	}, nullEnv{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Start(0)
+	return h
+}
+
+// BenchmarkHandleDataFromParent measures the common hot path: accepting
+// a fresh in-order data message from the parent and forwarding it.
+func BenchmarkHandleDataFromParent(b *testing.B) {
+	h := benchHost(b, 2, 16)
+	// Wire host 3 as parent via the handshake.
+	h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgInfo, Info: seqset.FromRange(1, 1), Parent: core.Nil})
+	h.Tick(3 * time.Hour)
+	h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 1)})
+	if h.Parent() != 3 {
+		b.Fatal("setup: no parent")
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.HandleMessage(0, 3, true, core.Message{
+			Kind: core.MsgData, Seq: seqset.Seq(i + 2), Payload: payload,
+		})
+	}
+}
+
+// BenchmarkHandleDuplicateData measures the duplicate-discard path, which
+// dominates under network duplication.
+func BenchmarkHandleDuplicateData(b *testing.B) {
+	h := benchHost(b, 2, 16)
+	h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgInfo, Info: seqset.FromRange(1, 1), Parent: core.Nil})
+	h.Tick(3 * time.Hour)
+	h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 1)})
+	h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgData, Seq: 5, Payload: []byte("x")})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.HandleMessage(0, 3, true, core.Message{Kind: core.MsgData, Seq: 5, Payload: []byte("x")})
+	}
+}
+
+// BenchmarkHandleInfo measures the periodic INFO ingestion path with a
+// realistic (mostly contiguous) set.
+func BenchmarkHandleInfo(b *testing.B) {
+	h := benchHost(b, 2, 16)
+	info := seqset.FromRange(1, 10000)
+	info.Prune(3) // give it a second run
+	m := core.Message{Kind: core.MsgInfo, Info: info, Parent: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.HandleMessage(0, 3, false, m)
+	}
+}
+
+// BenchmarkTickIdle measures a quiescent host's clock tick (nothing due).
+func BenchmarkTickIdle(b *testing.B) {
+	h := benchHost(b, 2, 64)
+	h.Tick(time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Tick(time.Millisecond * 2) // before every periodic deadline
+	}
+}
+
+// BenchmarkAttachmentScan measures one full attachment-procedure
+// activation over a large peer set with mixed candidates.
+func BenchmarkAttachmentScan(b *testing.B) {
+	h := benchHost(b, 2, 128)
+	// Populate MAP and cluster views for everyone.
+	for j := core.HostID(3); j <= 128; j++ {
+		h.HandleMessage(0, j, j%3 == 0, core.Message{
+			Kind:   core.MsgInfo,
+			Info:   seqset.FromRange(1, seqset.Seq(j)),
+			Parent: core.Nil,
+		})
+	}
+	period := core.DefaultParams().AttachPeriod
+	now := 3 * time.Hour
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += period + time.Millisecond
+		h.Tick(now)
+		// Cancel any pending handshake so the next tick scans again.
+		h.HandleMessage(now, h.Parent(), false, core.Message{Kind: core.MsgDetach})
+	}
+}

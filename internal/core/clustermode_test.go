@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"testing"
+
+	"rbcast/internal/core"
+)
+
+func TestClusterModeStaticFrozen(t *testing.T) {
+	p := quietParams()
+	p.ClusterMode = core.ClusterStatic
+	env := &fakeEnv{}
+	h, err := core.NewHost(core.Config{
+		ID: 2, Source: 1, Peers: []core.HostID{1, 2, 3, 4},
+		InitialCluster: []core.HostID{3},
+		Params:         p,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(0)
+	cl := h.Cluster()
+	if len(cl) != 2 || cl[0] != 2 || cl[1] != 3 {
+		t.Fatalf("static cluster = %v, want [2 3]", cl)
+	}
+	// Cost bits must not move the set in either direction.
+	infoFrom(h, 0, 3, true, 0, core.Nil)  // expensive from a member
+	infoFrom(h, 0, 4, false, 0, core.Nil) // cheap from a non-member
+	cl = h.Cluster()
+	if len(cl) != 2 || cl[0] != 2 || cl[1] != 3 {
+		t.Errorf("static cluster drifted to %v", cl)
+	}
+}
+
+func TestClusterModeNoneSingleton(t *testing.T) {
+	p := quietParams()
+	p.ClusterMode = core.ClusterNone
+	env := &fakeEnv{}
+	h, err := core.NewHost(core.Config{
+		ID: 2, Source: 1, Peers: []core.HostID{1, 2, 3},
+		// Seeds are ignored in none mode.
+		InitialCluster: []core.HostID{3},
+		Params:         p,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(0)
+	if cl := h.Cluster(); len(cl) != 1 || cl[0] != 2 {
+		t.Fatalf("none-mode cluster = %v, want [2]", cl)
+	}
+	infoFrom(h, 0, 3, false, 0, core.Nil) // cheap message changes nothing
+	if cl := h.Cluster(); len(cl) != 1 {
+		t.Errorf("none-mode cluster grew: %v", cl)
+	}
+	// Every host being alone, this host is always a leader.
+	if !h.IsLeader() {
+		t.Error("none-mode host not a leader")
+	}
+}
+
+func TestClusterModeString(t *testing.T) {
+	cases := map[core.ClusterMode]string{
+		core.ClusterDynamic: "dynamic",
+		core.ClusterStatic:  "static",
+		core.ClusterNone:    "none",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mode, got, want)
+		}
+	}
+}

@@ -1,0 +1,664 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rbcast/internal/seqset"
+)
+
+// Host is one protocol participant. It is a single-threaded state
+// machine: the driving runtime must serialize all calls to HandleMessage,
+// Tick, and Broadcast.
+type Host struct {
+	id       HostID
+	source   HostID
+	peers    []HostID // sorted, includes self and source
+	order    map[HostID]int
+	params   Params
+	env      Env
+	observer Observer
+
+	// info is INFO_i: the set of sequence numbers received so far.
+	info seqset.Set
+	// store holds message payloads for redelivery (the paper's
+	// non-volatile storage).
+	store map[seqset.Seq][]byte
+	// maps is MAP_i: this host's view of every other host's INFO set.
+	// Missing entries mean "empty set". Entries include optimistic marks
+	// for messages this host sent but that may have been lost (the next
+	// Info from the peer restores the truth); pruning must not rely on
+	// them, so confirmed knowledge is tracked separately.
+	maps map[HostID]seqset.Set
+	// confirmed mirrors maps but is updated only on evidence received
+	// from the peer itself (Info, attach requests, data), never on sends.
+	// §6 pruning uses it.
+	confirmed map[HostID]seqset.Set
+	// parentOf is p_i[]: the supposed parent of every host, learned from
+	// the routine parent-pointer exchange. parentOf[id] mirrors parent.
+	parentOf map[HostID]HostID
+	// cluster is CLUSTER_i, inferred from cost bits; always contains id.
+	cluster map[HostID]bool
+	// children is CHILDREN_i.
+	children map[HostID]bool
+	// parent is p_i[i]; Nil when the host has no parent.
+	parent HostID
+
+	lastFromParent time.Duration
+	started        bool
+	nextSeq        seqset.Seq // source only: next sequence number to assign
+
+	attach attachState
+
+	// outbox buffers sends within one activation when Params.Piggyback is
+	// set; activationDepth guards against double-flushing on reentrant
+	// entry points.
+	outbox          []outboundMsg
+	activationDepth int
+
+	// next fire times for periodic activities.
+	nextAttach     time.Duration
+	nextInfoLocal  time.Duration
+	nextInfoRemote time.Duration
+	nextInfoGlobal time.Duration
+	nextGapLocal   time.Duration
+	nextGapRemote  time.Duration
+	nextGapGlobal  time.Duration
+}
+
+type attachState struct {
+	inProgress bool
+	candidate  HostID
+	deadline   time.Duration
+	// excluded holds candidates that timed out or rejected during the
+	// current procedure run; cleared at each periodic activation.
+	excluded map[HostID]bool
+}
+
+// NewHost constructs a host. The returned host is idle until Start.
+func NewHost(cfg Config, env Env) (*Host, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil Env")
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	peers := make([]HostID, len(cfg.Peers))
+	copy(peers, cfg.Peers)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	order := make(map[HostID]int, len(peers))
+	for _, p := range peers {
+		if cfg.Order != nil {
+			order[p] = cfg.Order[p]
+		} else {
+			order[p] = int(p)
+		}
+	}
+	h := &Host{
+		id:        cfg.ID,
+		source:    cfg.Source,
+		peers:     peers,
+		order:     order,
+		params:    cfg.Params,
+		env:       env,
+		observer:  cfg.Observer,
+		store:     make(map[seqset.Seq][]byte),
+		maps:      make(map[HostID]seqset.Set),
+		confirmed: make(map[HostID]seqset.Set),
+		parentOf:  make(map[HostID]HostID),
+		cluster:   map[HostID]bool{cfg.ID: true},
+		children:  make(map[HostID]bool),
+		parent:    Nil,
+		nextSeq:   1,
+	}
+	if cfg.Params.ClusterMode != ClusterNone {
+		for _, p := range cfg.InitialCluster {
+			h.cluster[p] = true
+		}
+	}
+	return h, nil
+}
+
+// ID returns the host's identity.
+func (h *Host) ID() HostID { return h.id }
+
+// IsSource reports whether this host is the broadcast source.
+func (h *Host) IsSource() bool { return h.id == h.source }
+
+// Parent returns the current parent pointer (Nil if none).
+func (h *Host) Parent() HostID { return h.parent }
+
+// Children returns the current children set, sorted.
+func (h *Host) Children() []HostID {
+	out := make([]HostID, 0, len(h.children))
+	for c := range h.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Cluster returns CLUSTER_i, sorted (always includes the host itself).
+func (h *Host) Cluster() []HostID {
+	out := make([]HostID, 0, len(h.cluster))
+	for c := range h.cluster {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Info returns a copy of INFO_i.
+func (h *Host) Info() seqset.Set { return h.info.Clone() }
+
+// MapOf returns a copy of MAP_i[j] — this host's view of j's INFO set.
+func (h *Host) MapOf(j HostID) seqset.Set { return h.maps[j].Clone() }
+
+// ParentView returns p_i[j], this host's view of j's parent pointer.
+func (h *Host) ParentView(j HostID) HostID {
+	if j == h.id {
+		return h.parent
+	}
+	return h.parentOf[j]
+}
+
+// IsLeader reports whether this host currently considers itself a cluster
+// leader: its parent is NIL or lies in a different cluster (§4.1).
+func (h *Host) IsLeader() bool {
+	return h.parent == Nil || !h.cluster[h.parent]
+}
+
+// Start initializes the periodic schedules. Activities are phase-staggered
+// by static order so that in a deterministic simulation hosts do not all
+// fire on the same instant.
+func (h *Host) Start(now time.Duration) {
+	h.started = true
+	h.lastFromParent = now
+	stagger := func(period time.Duration) time.Duration {
+		n := len(h.peers)
+		slot := h.order[h.id] % n
+		if slot < 0 {
+			slot = -slot
+		}
+		return now + period*time.Duration(slot)/time.Duration(n) + period
+	}
+	h.nextAttach = stagger(h.params.AttachPeriod)
+	h.nextInfoLocal = stagger(h.params.InfoClusterPeriod)
+	h.nextInfoRemote = stagger(h.params.InfoRemotePeriod)
+	h.nextInfoGlobal = stagger(h.params.InfoGlobalPeriod)
+	h.nextGapLocal = stagger(h.params.GapClusterPeriod)
+	h.nextGapRemote = stagger(h.params.GapRemotePeriod)
+	h.nextGapGlobal = stagger(h.params.GapGlobalPeriod)
+}
+
+// Broadcast generates the next data message at the source and propagates
+// it to the source's children. It returns the assigned sequence number.
+// Calling Broadcast on a non-source host is a programming error.
+func (h *Host) Broadcast(now time.Duration, payload []byte) seqset.Seq {
+	if !h.IsSource() {
+		panic(fmt.Sprintf("core: Broadcast called on non-source host %d", h.id))
+	}
+	h.begin()
+	defer h.end()
+	seq := h.nextSeq
+	h.nextSeq++
+	h.info.Add(seq)
+	h.store[seq] = append([]byte(nil), payload...)
+	h.env.Deliver(seq, h.store[seq])
+	h.event(now, EvAccepted, h.id, seq)
+	m := Message{Kind: MsgData, Seq: seq, Payload: h.store[seq]}
+	for _, c := range h.Children() {
+		h.sendMarking(c, m)
+	}
+	return seq
+}
+
+type outboundMsg struct {
+	to HostID
+	m  Message
+}
+
+// emit wraps Env.Send; every outbound message funnels through here. With
+// piggybacking enabled, messages are buffered and flushed — bundled per
+// destination — when the current activation ends.
+func (h *Host) emit(to HostID, m Message) {
+	if to == h.id || to == Nil {
+		return
+	}
+	if h.params.Piggyback {
+		h.outbox = append(h.outbox, outboundMsg{to: to, m: m})
+		return
+	}
+	h.env.Send(to, m)
+}
+
+// begin marks the start of an activation (a received message, a tick, or
+// a broadcast); the matching end flushes the outbox once the outermost
+// activation finishes.
+func (h *Host) begin() { h.activationDepth++ }
+
+func (h *Host) end() {
+	h.activationDepth--
+	if h.activationDepth > 0 || len(h.outbox) == 0 {
+		return
+	}
+	pending := h.outbox
+	h.outbox = nil
+	// Group per destination, preserving first-appearance order for
+	// determinism and in-bundle message order.
+	order := make([]HostID, 0, 4)
+	byDest := make(map[HostID][]Message, 4)
+	for _, out := range pending {
+		if _, seen := byDest[out.to]; !seen {
+			order = append(order, out.to)
+		}
+		byDest[out.to] = append(byDest[out.to], out.m)
+	}
+	for _, to := range order {
+		parts := byDest[to]
+		if len(parts) == 1 {
+			h.env.Send(to, parts[0])
+			continue
+		}
+		h.env.Send(to, Message{Kind: MsgBundle, Parts: parts})
+	}
+}
+
+// sendMarking sends a data message and optimistically records the
+// sequence number in MAP for the target, so the periodic gap filler does
+// not immediately resend it. If the message is lost, the target's next
+// INFO exchange restores the truth and the filler retries. The confirmed
+// view is deliberately not touched.
+func (h *Host) sendMarking(to HostID, m Message) {
+	s := h.maps[to]
+	s.Add(m.Seq)
+	h.maps[to] = s
+	h.emit(to, m)
+}
+
+// learnHas records first-hand evidence that a peer holds one message.
+func (h *Host) learnHas(from HostID, q seqset.Seq) {
+	s := h.maps[from]
+	s.Add(q)
+	h.maps[from] = s
+	c := h.confirmed[from]
+	c.Add(q)
+	h.confirmed[from] = c
+}
+
+// learnInfo records an authoritative INFO snapshot from a peer, replacing
+// both the working MAP entry (clearing stale optimistic marks) and the
+// confirmed view.
+func (h *Host) learnInfo(from HostID, info seqset.Set) {
+	h.maps[from] = info.Clone()
+	h.confirmed[from] = info.Clone()
+}
+
+func (h *Host) event(now time.Duration, kind EventKind, peer HostID, seq seqset.Seq) {
+	if h.observer != nil {
+		h.observer(Event{At: now, Kind: kind, Host: h.id, Peer: peer, Seq: seq})
+	}
+}
+
+// observeCostBit maintains CLUSTER_i per §4.2: a message from j arriving
+// with the cost bit set evicts j from the cluster; one arriving cheaply
+// admits it. Static and none modes (§6) freeze the set instead.
+func (h *Host) observeCostBit(from HostID, costBit bool) {
+	if from == h.id || h.params.ClusterMode != ClusterDynamic {
+		return
+	}
+	if costBit {
+		delete(h.cluster, from)
+	} else {
+		h.cluster[from] = true
+	}
+}
+
+// HandleMessage processes one received message. costBit reports whether
+// the network flagged the message as having traversed an expensive link.
+func (h *Host) HandleMessage(now time.Duration, from HostID, costBit bool, m Message) {
+	if from == h.id || from == Nil {
+		return
+	}
+	h.begin()
+	defer h.end()
+	h.observeCostBit(from, costBit)
+	if from == h.parent {
+		h.lastFromParent = now
+	}
+	if m.Kind == MsgBundle {
+		for _, part := range m.Parts {
+			if part.Kind != MsgBundle { // bundles never nest
+				h.dispatch(now, from, part)
+			}
+		}
+		return
+	}
+	h.dispatch(now, from, m)
+}
+
+func (h *Host) dispatch(now time.Duration, from HostID, m Message) {
+	switch m.Kind {
+	case MsgData:
+		h.handleData(now, from, m)
+	case MsgInfo:
+		h.handleInfo(now, from, m)
+	case MsgAttachReq:
+		h.handleAttachReq(now, from, m)
+	case MsgAttachAccept:
+		h.handleAttachAccept(now, from, m)
+	case MsgAttachReject:
+		h.handleAttachReject(now, from)
+	case MsgDetach:
+		h.handleDetach(now, from)
+	}
+}
+
+func (h *Host) handleData(now time.Duration, from HostID, m Message) {
+	if m.Seq == 0 {
+		return
+	}
+	// The sender evidently has the message.
+	h.learnHas(from, m.Seq)
+
+	if h.info.Contains(m.Seq) {
+		h.event(now, EvDuplicate, from, m.Seq)
+		return
+	}
+	// §4.1: a message numbered higher than anything seen so far is
+	// accepted only from the parent. Lower-numbered messages are gap
+	// fills and are accepted from anyone — they do not alter the < order
+	// among INFO sets.
+	newMax := m.Seq > h.info.Max()
+	if newMax && from != h.parent {
+		h.event(now, EvRejected, from, m.Seq)
+		if !m.GapFill {
+			// The sender believes we are its child (stale CHILDREN after a
+			// reattachment the detach notice for which was lost); correct it.
+			h.emit(from, Message{Kind: MsgDetach})
+		}
+		return
+	}
+	h.info.Add(m.Seq)
+	h.store[m.Seq] = append([]byte(nil), m.Payload...)
+	h.env.Deliver(m.Seq, h.store[m.Seq])
+	h.event(now, EvAccepted, from, m.Seq)
+
+	if newMax && !m.GapFill {
+		// Normal downward propagation: forward to all children.
+		fwd := Message{Kind: MsgData, Seq: m.Seq, Payload: h.store[m.Seq]}
+		for _, c := range h.Children() {
+			if c != from {
+				h.sendMarking(c, fwd)
+			}
+		}
+		return
+	}
+	// §4.4: a received gap-filling message is forwarded to those
+	// parent-graph neighbours that, according to MAP, do not have it.
+	fwd := Message{Kind: MsgData, Seq: m.Seq, Payload: h.store[m.Seq], GapFill: true}
+	for _, nb := range h.neighbors() {
+		if nb == from || h.maps[nb].Contains(m.Seq) {
+			continue
+		}
+		// Sending a would-be-new-max to a host we do not parent is futile:
+		// the receiver's §4.1 rule discards it.
+		if !h.children[nb] && m.Seq > h.maps[nb].Max() {
+			continue
+		}
+		h.sendMarking(nb, fwd)
+	}
+}
+
+func (h *Host) handleInfo(now time.Duration, from HostID, m Message) {
+	h.learnInfo(from, m.Info)
+	h.parentOf[from] = m.Parent
+	// Parent-pointer gossip keeps CHILDREN consistent in both directions:
+	// a host we consider a child that reports a different parent has
+	// moved on and is pruned; a host that reports us as its parent is a
+	// child we must own, even if we pruned it on a stale report earlier
+	// (its attach request and its next routine Info can cross on the
+	// wire). Without the re-adoption rule the pair deadlocks: the child
+	// keeps hearing our routine Info (so its parent-silence timer never
+	// fires) while we never forward it data.
+	if h.children[from] && m.Parent != h.id {
+		delete(h.children, from)
+		h.event(now, EvChildRemoved, from, 0)
+	} else if !h.children[from] && m.Parent == h.id {
+		h.children[from] = true
+		h.event(now, EvChildAdded, from, 0)
+	}
+	// Reactive gap fill towards parent-graph neighbours; leaders also
+	// serve non-neighbour hosts in other clusters (the low-frequency
+	// periodic scan covers the rest).
+	if h.isNeighbor(from) {
+		h.fillGapsOf(from)
+	} else if h.IsLeader() && !h.cluster[from] && !h.params.DisableNonNeighborGapFill {
+		h.fillGapsOf(from)
+	}
+}
+
+func (h *Host) handleDetach(now time.Duration, from HostID) {
+	if h.children[from] {
+		delete(h.children, from)
+		h.event(now, EvChildRemoved, from, 0)
+	}
+	if from == h.parent {
+		// A host we considered our parent disowned us (it accepted our
+		// attach once but no longer counts us as a child).
+		h.parent = Nil
+	}
+}
+
+// neighbors returns the host parent graph neighbours: the parent (if any)
+// and all children, sorted.
+func (h *Host) neighbors() []HostID {
+	out := make([]HostID, 0, len(h.children)+1)
+	if h.parent != Nil {
+		out = append(out, h.parent)
+	}
+	for c := range h.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (h *Host) isNeighbor(j HostID) bool {
+	return j != Nil && (j == h.parent || h.children[j])
+}
+
+// Tick advances all periodic activities. The runtime must call it roughly
+// every Params.TickInterval.
+func (h *Host) Tick(now time.Duration) {
+	if !h.started {
+		h.Start(now)
+	}
+	h.begin()
+	defer h.end()
+	// Attach handshake timeout.
+	if h.attach.inProgress && now >= h.attach.deadline {
+		h.event(now, EvAttachFailed, h.attach.candidate, 0)
+		h.attach.excluded[h.attach.candidate] = true
+		h.attach.inProgress = false
+		// §4.2: on ack timeout the procedure is repeated immediately to
+		// find another candidate.
+		h.runAttachment(now, false)
+	}
+	// Parent-silence timeout (§4.3): set parent to NIL and search anew.
+	if !h.IsSource() && h.parent != Nil && now-h.lastFromParent > h.params.ParentTimeout {
+		h.event(now, EvParentTimeout, h.parent, 0)
+		h.parent = Nil
+		h.runAttachment(now, true)
+	}
+	if !h.IsSource() && now >= h.nextAttach {
+		h.nextAttach = now + h.params.AttachPeriod
+		h.runAttachment(now, true)
+	}
+	if now >= h.nextInfoLocal {
+		h.nextInfoLocal = now + h.params.InfoClusterPeriod
+		h.sendInfoLocal()
+	}
+	if now >= h.nextInfoRemote {
+		h.nextInfoRemote = now + h.params.InfoRemotePeriod
+		h.sendInfoRemoteNeighbors()
+	}
+	if now >= h.nextInfoGlobal {
+		h.nextInfoGlobal = now + h.params.InfoGlobalPeriod
+		h.sendInfoGlobal()
+	}
+	if now >= h.nextGapLocal {
+		h.nextGapLocal = now + h.params.GapClusterPeriod
+		for _, nb := range h.neighbors() {
+			if h.cluster[nb] {
+				h.fillGapsOf(nb)
+			}
+		}
+	}
+	if now >= h.nextGapRemote {
+		h.nextGapRemote = now + h.params.GapRemotePeriod
+		for _, nb := range h.neighbors() {
+			if !h.cluster[nb] {
+				h.fillGapsOf(nb)
+			}
+		}
+	}
+	if now >= h.nextGapGlobal {
+		h.nextGapGlobal = now + h.params.GapGlobalPeriod
+		h.gapFillGlobal()
+	}
+	if h.params.PruneStable {
+		h.pruneStable()
+	}
+}
+
+func (h *Host) infoMessage() Message {
+	return Message{Kind: MsgInfo, Info: h.info.Clone(), Parent: h.parent}
+}
+
+// sendInfoLocal performs the routine intra-cluster INFO + parent-pointer
+// exchange.
+func (h *Host) sendInfoLocal() {
+	m := h.infoMessage()
+	for _, j := range h.Cluster() {
+		if j != h.id {
+			h.emit(j, m)
+		}
+	}
+}
+
+// sendInfoRemoteNeighbors keeps cross-cluster parent-graph edges fresh.
+func (h *Host) sendInfoRemoteNeighbors() {
+	m := h.infoMessage()
+	for _, nb := range h.neighbors() {
+		if !h.cluster[nb] {
+			h.emit(nb, m)
+		}
+	}
+}
+
+// sendInfoGlobal is the leaders-only advertisement to all non-cluster,
+// non-neighbour hosts; it is what lets detached fragments discover each
+// other and what lets leaders find better parents (Case II option 3).
+func (h *Host) sendInfoGlobal() {
+	if !h.IsLeader() && !h.IsSource() {
+		return
+	}
+	m := h.infoMessage()
+	for _, j := range h.peers {
+		if j == h.id || h.cluster[j] || h.isNeighbor(j) {
+			continue
+		}
+		h.emit(j, m)
+	}
+}
+
+// fillGapsOf sends the target up to GapFillBatch messages that this host
+// holds and the target's MAP entry lacks. For hosts we do not parent,
+// only sequence numbers below the target's known maximum are sent —
+// anything higher would be discarded by the receiver's §4.1 rule.
+func (h *Host) fillGapsOf(j HostID) {
+	their := h.maps[j]
+	missing := h.info.Diff(their)
+	if missing.Empty() {
+		return
+	}
+	isChild := h.children[j]
+	limit := h.params.GapFillBatch
+	theirMax := their.Max()
+	sent := 0
+	missing.Each(func(q seqset.Seq) bool {
+		if !isChild && q > theirMax {
+			return false // ascending iteration: nothing later qualifies
+		}
+		payload, ok := h.store[q]
+		if !ok {
+			return true // pruned; skip
+		}
+		h.sendMarking(j, Message{Kind: MsgData, Seq: q, Payload: payload, GapFill: true})
+		sent++
+		return sent < limit
+	})
+}
+
+// gapFillGlobal is the §4.4 non-neighbour gap fill: leaders scan all
+// known hosts outside their cluster and outside the parent graph
+// neighbourhood, filling what they can.
+func (h *Host) gapFillGlobal() {
+	if h.params.DisableNonNeighborGapFill {
+		return
+	}
+	if !h.IsLeader() && !h.IsSource() {
+		return
+	}
+	for _, j := range h.peers {
+		if j == h.id || h.cluster[j] || h.isNeighbor(j) {
+			continue
+		}
+		h.fillGapsOf(j)
+	}
+}
+
+// pruneStable implements §6 pruning: sequence numbers 1..p that every
+// participant is known (via MAP) to hold are dropped from INFO and the
+// store. Unknown hosts (empty MAP entries) hold the prefix at zero, so
+// pruning is conservative.
+func (h *Host) pruneStable() {
+	p := h.contiguousPrefix(h.info)
+	for _, j := range h.peers {
+		if j == h.id {
+			continue
+		}
+		if q := h.contiguousPrefix(h.confirmed[j]); q < p {
+			p = q
+		}
+		if p == 0 {
+			return
+		}
+	}
+	if p == 0 {
+		return
+	}
+	h.info.Prune(p - 1) // keep p itself so Max stays meaningful even if alone
+	for q := range h.store {
+		if q < p {
+			delete(h.store, q)
+		}
+	}
+}
+
+// contiguousPrefix returns the largest p such that 1..p are all members.
+func (h *Host) contiguousPrefix(s seqset.Set) seqset.Seq {
+	ivs := s.Intervals()
+	if len(ivs) == 0 || ivs[0].Lo != 1 {
+		return 0
+	}
+	return ivs[0].Hi
+}

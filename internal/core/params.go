@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ClusterMode selects how CLUSTER_i is maintained. The paper's §6
+// discusses all three: dynamic inference from cost bits (the default and
+// the best performer), static knowledge supplied at start (usable "albeit
+// with less satisfying performance results" once the network drifts from
+// it), and no knowledge at all (every host assumes it is alone in its
+// cluster; the algorithm still works).
+type ClusterMode int
+
+const (
+	// ClusterDynamic infers membership from per-message cost bits (§4.2).
+	ClusterDynamic ClusterMode = iota
+	// ClusterStatic freezes CLUSTER at the Config.InitialCluster seed.
+	ClusterStatic
+	// ClusterNone freezes CLUSTER at {self}.
+	ClusterNone
+)
+
+// String implements fmt.Stringer.
+func (m ClusterMode) String() string {
+	switch m {
+	case ClusterDynamic:
+		return "dynamic"
+	case ClusterStatic:
+		return "static"
+	case ClusterNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ClusterMode(%d)", int(m))
+	}
+}
+
+// Params are the protocol's tunables. The paper (§6) frames the
+// reliability/cost trade-off entirely in terms of these frequencies: the
+// more often hosts exchange INFO sets, parent pointers, and gap fills,
+// the faster they exploit transient communication opportunities — and the
+// more control traffic they pay for it.
+type Params struct {
+	// TickInterval is the granularity at which the runtime calls
+	// Host.Tick. All periods below are rounded up to it in effect.
+	TickInterval time.Duration
+
+	// AttachPeriod is how often the attachment procedure (§4.2) is
+	// activated at each host.
+	AttachPeriod time.Duration
+
+	// InfoClusterPeriod is the period of the routine INFO + parent
+	// pointer exchange among hosts of the same cluster.
+	InfoClusterPeriod time.Duration
+	// InfoRemotePeriod is the period of INFO exchange with parent-graph
+	// neighbours in other clusters (a cluster leader and its remote
+	// parent/children keep each other current at this rate).
+	InfoRemotePeriod time.Duration
+	// InfoGlobalPeriod is the period at which cluster leaders (and the
+	// source) advertise their INFO to all non-cluster, non-neighbour
+	// hosts. This is the "probe" that detects partition repairs; per the
+	// paper's §5 discussion only roots/leaders perform it.
+	InfoGlobalPeriod time.Duration
+
+	// GapClusterPeriod is the period of gap filling towards parent-graph
+	// neighbours in the same cluster.
+	GapClusterPeriod time.Duration
+	// GapRemotePeriod is the period of gap filling towards parent-graph
+	// neighbours in other clusters.
+	GapRemotePeriod time.Duration
+	// GapGlobalPeriod is the period of the §4.4 non-neighbour gap fill
+	// performed by cluster leaders across cluster boundaries (the
+	// mechanism that resolves the paper's Figure 4.1 scenario).
+	GapGlobalPeriod time.Duration
+
+	// AttachTimeout bounds the wait for an attach acknowledgment before
+	// the host moves to the next candidate.
+	AttachTimeout time.Duration
+	// ParentTimeout is how long a parent may stay silent before the host
+	// sets its parent pointer to NIL and searches anew.
+	ParentTimeout time.Duration
+
+	// GapFillBatch caps the number of gap-fill data messages sent to one
+	// target in one round.
+	GapFillBatch int
+	// AttachFillLimit caps the number of missing messages a new parent
+	// forwards immediately on accepting a child; the periodic neighbour
+	// gap fill delivers the rest.
+	AttachFillLimit int
+
+	// PruneStable enables §6 INFO-set pruning: sequence numbers known (via
+	// MAP) to be held by every participant are dropped from INFO and the
+	// message store.
+	PruneStable bool
+
+	// ClusterMode selects dynamic (default), static, or no cluster
+	// knowledge; see the ClusterMode docs.
+	ClusterMode ClusterMode
+
+	// Piggyback enables the §6 packet optimization: all messages a host
+	// emits to one destination within a single activation (one received
+	// message or one clock tick) travel as one bundled packet.
+	Piggyback bool
+
+	// DisableNonNeighborGapFill turns off the §4.4 extension that lets
+	// hosts fill gaps of non-parent-graph-neighbours across cluster
+	// boundaries. It exists as an ablation knob: the paper's Figure 4.1
+	// argues the extension is necessary, and the F4.1 experiment
+	// demonstrates it by running with and without.
+	DisableNonNeighborGapFill bool
+}
+
+// DefaultParams returns the reference tuning, sized for the simulator's
+// default link delays (1 ms cheap, 30 ms expensive).
+func DefaultParams() Params {
+	return Params{
+		TickInterval:      25 * time.Millisecond,
+		AttachPeriod:      250 * time.Millisecond,
+		InfoClusterPeriod: 100 * time.Millisecond,
+		InfoRemotePeriod:  400 * time.Millisecond,
+		InfoGlobalPeriod:  800 * time.Millisecond,
+		GapClusterPeriod:  150 * time.Millisecond,
+		GapRemotePeriod:   500 * time.Millisecond,
+		GapGlobalPeriod:   1200 * time.Millisecond,
+		AttachTimeout:     300 * time.Millisecond,
+		ParentTimeout:     1500 * time.Millisecond,
+		GapFillBatch:      64,
+		AttachFillLimit:   256,
+	}
+}
+
+// Validate reports the first problem with p, or nil.
+func (p Params) Validate() error {
+	type field struct {
+		name string
+		d    time.Duration
+	}
+	for _, f := range []field{
+		{"TickInterval", p.TickInterval},
+		{"AttachPeriod", p.AttachPeriod},
+		{"InfoClusterPeriod", p.InfoClusterPeriod},
+		{"InfoRemotePeriod", p.InfoRemotePeriod},
+		{"InfoGlobalPeriod", p.InfoGlobalPeriod},
+		{"GapClusterPeriod", p.GapClusterPeriod},
+		{"GapRemotePeriod", p.GapRemotePeriod},
+		{"GapGlobalPeriod", p.GapGlobalPeriod},
+		{"AttachTimeout", p.AttachTimeout},
+		{"ParentTimeout", p.ParentTimeout},
+	} {
+		if f.d <= 0 {
+			return fmt.Errorf("core: %s must be positive, got %v", f.name, f.d)
+		}
+	}
+	if p.GapFillBatch <= 0 {
+		return fmt.Errorf("core: GapFillBatch must be positive, got %d", p.GapFillBatch)
+	}
+	if p.AttachFillLimit <= 0 {
+		return fmt.Errorf("core: AttachFillLimit must be positive, got %d", p.AttachFillLimit)
+	}
+	if p.ParentTimeout <= p.InfoClusterPeriod {
+		return errors.New("core: ParentTimeout must exceed InfoClusterPeriod or in-cluster parents flap")
+	}
+	return nil
+}
+
+// Config assembles everything a Host needs at construction.
+type Config struct {
+	// ID is this host's identity; must appear in Peers.
+	ID HostID
+	// Source is the broadcast source's identity; must appear in Peers.
+	// The host with ID == Source generates messages and never runs the
+	// attachment procedure.
+	Source HostID
+	// Peers lists every participating host, including ID and Source. The
+	// paper assumes hosts know the identities of all participants.
+	Peers []HostID
+	// Order optionally overrides the static linear order; when nil,
+	// order(i) = int(i). Every peer must have a distinct order.
+	Order map[HostID]int
+	// InitialCluster optionally seeds CLUSTER with static knowledge
+	// (§6); the host's own ID is always included.
+	InitialCluster []HostID
+	// Params tunes the protocol; zero value means DefaultParams.
+	Params Params
+	// Observer receives protocol events; may be nil.
+	Observer Observer
+}
+
+func (c Config) validate() error {
+	if c.ID <= 0 {
+		return fmt.Errorf("core: invalid host id %d", c.ID)
+	}
+	if c.Source <= 0 {
+		return fmt.Errorf("core: invalid source id %d", c.Source)
+	}
+	var haveSelf, haveSource bool
+	seen := make(map[HostID]bool, len(c.Peers))
+	orders := make(map[int]HostID, len(c.Peers))
+	for _, p := range c.Peers {
+		if p <= 0 {
+			return fmt.Errorf("core: invalid peer id %d", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("core: duplicate peer %d", p)
+		}
+		seen[p] = true
+		if p == c.ID {
+			haveSelf = true
+		}
+		if p == c.Source {
+			haveSource = true
+		}
+		o := int(p)
+		if c.Order != nil {
+			var ok bool
+			if o, ok = c.Order[p]; !ok {
+				return fmt.Errorf("core: peer %d missing from Order", p)
+			}
+		}
+		if prev, dup := orders[o]; dup {
+			return fmt.Errorf("core: peers %d and %d share order %d", prev, p, o)
+		}
+		orders[o] = p
+	}
+	if !haveSelf {
+		return fmt.Errorf("core: host %d not in Peers", c.ID)
+	}
+	if !haveSource {
+		return fmt.Errorf("core: source %d not in Peers", c.Source)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rbcast/internal/core"
+)
+
+func TestMsgKindStrings(t *testing.T) {
+	cases := map[core.MsgKind]string{
+		core.MsgData:         "data",
+		core.MsgInfo:         "info",
+		core.MsgAttachReq:    "attach-req",
+		core.MsgAttachAccept: "attach-accept",
+		core.MsgAttachReject: "attach-reject",
+		core.MsgDetach:       "detach",
+		core.MsgBundle:       "bundle",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := core.MsgKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if core.MsgData.IsControl() {
+		t.Error("data classified as control")
+	}
+	for _, k := range []core.MsgKind{
+		core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
+		core.MsgAttachReject, core.MsgDetach, core.MsgBundle,
+	} {
+		if !k.IsControl() {
+			t.Errorf("%v not classified as control", k)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []core.EventKind{
+		core.EvAccepted, core.EvDuplicate, core.EvRejected, core.EvAttached,
+		core.EvAttachFailed, core.EvParentTimeout, core.EvCycleBroken,
+		core.EvChildAdded, core.EvChildRemoved,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.Contains(s, "EventKind") {
+			t.Errorf("%d.String() = %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate event string %q", s)
+		}
+		seen[s] = true
+	}
+	if got := core.EventKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown event kind renders %q", got)
+	}
+}
+
+func TestClusterModeUnknownString(t *testing.T) {
+	if got := core.ClusterMode(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown mode renders %q", got)
+	}
+}
+
+func TestParentViewOfSelf(t *testing.T) {
+	env := &fakeEnv{}
+	h := newTestHost(t, 2, quietParams(), env)
+	if got := h.ParentView(2); got != core.Nil {
+		t.Errorf("ParentView(self) = %d, want Nil", got)
+	}
+	makeParent(t, h, env, 3)
+	if got := h.ParentView(2); got != 3 {
+		t.Errorf("ParentView(self) = %d after attach, want 3", got)
+	}
+}

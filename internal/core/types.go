@@ -1,0 +1,200 @@
+// Package core implements the paper's reliable broadcast protocol for
+// networks with nonprogrammable servers as a pure, runtime-agnostic state
+// machine.
+//
+// A Host consumes two kinds of input — received messages and clock ticks
+// — and produces output exclusively through the Env interface. It has no
+// goroutines, no real clocks, and no I/O, so the same implementation runs
+// unchanged under the deterministic discrete-event harness
+// (internal/harness) and the real-time goroutine runtime (internal/live).
+//
+// Protocol elements implemented here, by paper section:
+//
+//   - §4.1 host parent graph and the parent-only acceptance rule for
+//     new-maximum data messages;
+//   - §4.2 the attachment procedure, Cases I–III with their option lists,
+//     the attach request/ack handshake with timeout, and old-parent
+//     notification;
+//   - §4.3 cycle handling: intra-cluster cycle detection by ancestor walk
+//     and the max-order detachment rule; cross-cluster cycles break via
+//     Case II option 3; parent-silence timeout;
+//   - §4.4 gap filling: on-attach fill by the new parent, relay of
+//     received gap fills to parent-graph neighbours, periodic neighbour
+//     fills at cluster/remote frequencies, and low-frequency global fill
+//     between non-neighbours (leaders only), which resolves the paper's
+//     Figure 4.1 scenario;
+//   - §2 cluster inference from per-message cost bits;
+//   - §6 tunable exchange frequencies and INFO-prefix pruning.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rbcast/internal/seqset"
+)
+
+// HostID identifies a participating host. IDs are positive; Nil (0)
+// denotes "no host", used for nil parent pointers.
+type HostID int
+
+// Nil is the null host ID (a NIL parent pointer).
+const Nil HostID = 0
+
+// MsgKind enumerates protocol message types.
+type MsgKind int
+
+const (
+	// MsgData carries one sequence-numbered broadcast message (or a
+	// gap-filling redelivery of one).
+	MsgData MsgKind = iota + 1
+	// MsgInfo is the periodic control exchange: the sender's INFO set and
+	// current parent pointer.
+	MsgInfo
+	// MsgAttachReq asks the destination to adopt the sender as a child;
+	// carries the sender's INFO set so the new parent can fill gaps.
+	MsgAttachReq
+	// MsgAttachAccept confirms adoption; carries the parent's INFO set.
+	MsgAttachAccept
+	// MsgAttachReject declines adoption.
+	MsgAttachReject
+	// MsgDetach tells the destination the sender is no longer its child
+	// (or, sent by a would-be parent, that the destination is not its
+	// child).
+	MsgDetach
+	// MsgBundle piggybacks several messages to the same destination in
+	// one packet — the §6 "fairly obvious optimization". Bundles never
+	// nest.
+	MsgBundle
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgData:
+		return "data"
+	case MsgInfo:
+		return "info"
+	case MsgAttachReq:
+		return "attach-req"
+	case MsgAttachAccept:
+		return "attach-accept"
+	case MsgAttachReject:
+		return "attach-reject"
+	case MsgDetach:
+		return "detach"
+	case MsgBundle:
+		return "bundle"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// IsControl reports whether the message kind is control traffic (anything
+// that is not a data/gap-fill message). The paper's §5 cost comparison
+// distinguishes data from control transmissions.
+func (k MsgKind) IsControl() bool { return k != MsgData }
+
+// Message is a host-to-host protocol message. A single struct (with
+// fields used per kind) keeps the wire codec and the simulator simple.
+type Message struct {
+	Kind MsgKind
+
+	// Seq and Payload are set for MsgData.
+	Seq     seqset.Seq
+	Payload []byte
+	// GapFill marks a MsgData as a redelivery that does not claim
+	// parenthood; gap fills may be accepted from any host because they
+	// cannot alter the receiver's INFO maximum.
+	GapFill bool
+
+	// Info is the sender's INFO set, for MsgInfo, MsgAttachReq, and
+	// MsgAttachAccept.
+	Info seqset.Set
+	// Parent is the sender's current parent pointer, for MsgInfo.
+	Parent HostID
+
+	// Parts holds the piggybacked messages of a MsgBundle; the parts
+	// themselves are never bundles.
+	Parts []Message
+}
+
+// EventKind enumerates observable protocol events (for tracing, tests,
+// and metrics).
+type EventKind int
+
+const (
+	// EvAccepted: a data message was accepted into INFO and delivered.
+	EvAccepted EventKind = iota + 1
+	// EvDuplicate: a data message was discarded as already received.
+	EvDuplicate
+	// EvRejected: a new-maximum data message arrived from a non-parent
+	// and was discarded per the §4.1 rule.
+	EvRejected
+	// EvAttached: the host adopted a new parent.
+	EvAttached
+	// EvAttachFailed: an attach request timed out or was rejected.
+	EvAttachFailed
+	// EvParentTimeout: the parent fell silent; parent pointer set to NIL.
+	EvParentTimeout
+	// EvCycleBroken: the host detected itself on an intra-cluster cycle
+	// and, having the highest static order on it, detached.
+	EvCycleBroken
+	// EvChildAdded: the host adopted a child.
+	EvChildAdded
+	// EvChildRemoved: a child detached (or was pruned via parent-pointer
+	// gossip).
+	EvChildRemoved
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvAccepted:
+		return "accepted"
+	case EvDuplicate:
+		return "duplicate"
+	case EvRejected:
+		return "rejected"
+	case EvAttached:
+		return "attached"
+	case EvAttachFailed:
+		return "attach-failed"
+	case EvParentTimeout:
+		return "parent-timeout"
+	case EvCycleBroken:
+		return "cycle-broken"
+	case EvChildAdded:
+		return "child-added"
+	case EvChildRemoved:
+		return "child-removed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observable protocol occurrence at a host.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Host HostID
+	Peer HostID     // counterpart host, if any
+	Seq  seqset.Seq // sequence number, for data events
+}
+
+// Env is the host's only window on the world. Implementations must be
+// owned by whatever runtime drives the host; the host never retains
+// slices passed to Send beyond the call.
+type Env interface {
+	// Send transmits m to host to, best-effort. The network may lose,
+	// duplicate, reorder, or arbitrarily delay it.
+	Send(to HostID, m Message)
+	// Deliver hands an accepted broadcast message to the application.
+	// Called exactly once per sequence number per host, in arrival (not
+	// necessarily sequence) order — the paper explicitly relaxes ordered
+	// delivery.
+	Deliver(seq seqset.Seq, payload []byte)
+}
+
+// Observer receives protocol events; may be nil.
+type Observer func(Event)

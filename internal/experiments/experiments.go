@@ -1,0 +1,120 @@
+// Package experiments reproduces the paper's evaluation. ICDCS'88 papers
+// of this kind argue qualitatively: §5 compares the tree protocol with
+// the §1 basic algorithm on cost, delay, recovery, partition behaviour,
+// source congestion, and control overhead, and Figures 3.1/3.2/4.1
+// illustrate the protocol's key situations. Each experiment here turns
+// one such claim into a measured table plus a machine-checked verdict
+// ("who wins, in which direction"), so the whole evaluation regenerates
+// with one command (cmd/rbexp) and is asserted in tests.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"rbcast/internal/metrics"
+)
+
+// Report is one experiment's rendered outcome.
+type Report interface {
+	// ID is the experiment identifier ("F3.1", "E1", ...).
+	ID() string
+	// Title is a one-line description.
+	Title() string
+	// Render returns the table(s) and notes as plain text.
+	Render() string
+	// Check returns nil when the paper's qualitative claim holds in the
+	// measured data, or an explanatory error.
+	Check() error
+}
+
+// Runner couples an experiment with its metadata for the CLI registry.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "F3.1", Title: "Figure 3.1 — optimal broadcast cost is unattainable", Run: Fig31},
+		{ID: "F3.2", Title: "Figure 3.2 — attachment converges to a cluster tree (and survives a cluster merge)", Run: Fig32},
+		{ID: "F4.1", Title: "Figure 4.1 — complementary gaps need non-neighbour gap filling", Run: Fig41},
+		{ID: "E1", Title: "§5 cost — inter-cluster transmissions per message vs. cluster count", Run: CostSweep},
+		{ID: "E2", Title: "§5 delay — delivery latency, tree vs. basic", Run: DelaySweep},
+		{ID: "E3", Title: "§5 recovery — redelivery locality under loss", Run: Recovery},
+		{ID: "E4", Title: "§5 partitions — traffic wasted toward unreachable hosts", Run: Partition},
+		{ID: "E5", Title: "§5 congestion — load on the source's access link", Run: Congestion},
+		{ID: "E6", Title: "§5/§6 control traffic — independence from data volume", Run: ControlOverhead},
+		{ID: "E7", Title: "§6 trade-off — exploiting a brief reconnection window vs. control cost", Run: Tradeoff},
+		{ID: "E8", Title: "scalability — completion across network sizes", Run: Scalability},
+		{ID: "E9", Title: "§6 ablation — dynamic vs. static vs. no cluster knowledge", Run: ClusterKnowledge},
+		{ID: "E10", Title: "§6 optimization — piggybacking control messages", Run: Piggyback},
+		{ID: "E11", Title: "§2 composition — multiple sources as parallel single-source protocols", Run: MultiSource},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// report is the shared Report implementation experiments fill in.
+type report struct {
+	id     string
+	title  string
+	tables []*metrics.Table
+	notes  []string
+	fails  []string
+}
+
+func newReport(id, title string) *report {
+	return &report{id: id, title: title}
+}
+
+func (r *report) addTable(t *metrics.Table) { r.tables = append(r.tables, t) }
+func (r *report) note(format string, args ...any) {
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+}
+
+// expect records a named claim; failed claims turn into Check errors.
+func (r *report) expect(ok bool, format string, args ...any) {
+	if !ok {
+		r.fails = append(r.fails, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *report) ID() string    { return r.id }
+func (r *report) Title() string { return r.title }
+
+func (r *report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n\n", r.id, r.title)
+	for _, t := range r.tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	if err := r.Check(); err != nil {
+		fmt.Fprintf(&b, "  VERDICT: FAIL — %v\n", err)
+	} else {
+		b.WriteString("  VERDICT: holds\n")
+	}
+	return b.String()
+}
+
+func (r *report) Check() error {
+	if len(r.fails) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(r.fails, "; "))
+}

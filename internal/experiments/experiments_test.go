@@ -1,0 +1,80 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"rbcast/internal/experiments"
+)
+
+// Every experiment's qualitative claim must hold — these are the
+// reproduction's acceptance tests. Each experiment also runs under a
+// second seed in -count=1 mode to guard against seed-luck (see
+// TestAlternateSeed, which uses a subset for time).
+
+func TestRegistry(t *testing.T) {
+	all := experiments.All()
+	if len(all) != 14 {
+		t.Fatalf("registry holds %d experiments, want 14", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, ok := experiments.ByID(strings.ToLower(r.ID)); !ok {
+			t.Errorf("ByID(%q) case-insensitive lookup failed", r.ID)
+		}
+	}
+	if _, ok := experiments.ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestAllExperimentsHold(t *testing.T) {
+	for _, r := range experiments.All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := r.Run(1)
+			if err != nil {
+				t.Fatalf("run error: %v", err)
+			}
+			if err := rep.Check(); err != nil {
+				t.Errorf("claim does not hold:\n%s", rep.Render())
+			}
+			if rep.ID() != r.ID {
+				t.Errorf("report id %q != runner id %q", rep.ID(), r.ID)
+			}
+			if !strings.Contains(rep.Render(), rep.ID()) {
+				t.Error("Render does not include the experiment id")
+			}
+		})
+	}
+}
+
+func TestAlternateSeed(t *testing.T) {
+	// A different seed must not flip the verdicts; run the cheaper
+	// experiments to bound test time.
+	for _, id := range []string{"F3.1", "F4.1", "E1", "E4", "E7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := experiments.ByID(id)
+			if !ok {
+				t.Fatalf("unknown id %s", id)
+			}
+			rep, err := r.Run(20260704)
+			if err != nil {
+				t.Fatalf("run error: %v", err)
+			}
+			if err := rep.Check(); err != nil {
+				t.Errorf("claim does not hold under alternate seed:\n%s", rep.Render())
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package harness_test
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rbcast/internal/harness"
+	"rbcast/internal/topo"
+)
+
+func TestWriteDeliveryCSV(t *testing.T) {
+	res, err := harness.Run(harness.Scenario{
+		Seed:             47,
+		Build:            clusteredBuild(2, 2, topo.WANStar),
+		Protocol:         harness.ProtocolTree,
+		Messages:         5,
+		StopWhenComplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("setup: incomplete run")
+	}
+	var sb strings.Builder
+	if err := res.WriteDeliveryCSV(&sb); err != nil {
+		t.Fatalf("WriteDeliveryCSV: %v", err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("reading back CSV: %v", err)
+	}
+	wantRows := 1 + 5*4 // header + messages × hosts
+	if len(rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	if got := strings.Join(rows[0], ","); got != "seq,host,broadcast_us,delivered_us,latency_us" {
+		t.Errorf("header = %q", got)
+	}
+	for i, row := range rows[1:] {
+		for col := 0; col < 5; col++ {
+			v, err := strconv.ParseInt(row[col], 10, 64)
+			if err != nil {
+				t.Fatalf("row %d col %d %q not numeric (complete run): %v", i+1, col, row[col], err)
+			}
+			if col == 4 && v < 0 {
+				t.Errorf("row %d: negative latency %d", i+1, v)
+			}
+		}
+	}
+	// Source deliveries (host with latency 0 for its own messages) exist.
+	foundZero := false
+	for _, row := range rows[1:] {
+		if row[1] == "1" && row[4] == "0" {
+			foundZero = true
+		}
+	}
+	if !foundZero {
+		t.Error("no zero-latency local delivery at the source")
+	}
+}
+
+func TestWriteDeliveryCSVWithGaps(t *testing.T) {
+	// An incomplete run renders missing deliveries as empty cells.
+	res, err := harness.Run(harness.Scenario{
+		Seed:     48,
+		Build:    clusteredBuild(2, 2, topo.WANStar),
+		Protocol: harness.ProtocolTree,
+		Messages: 5,
+		Events: []harness.TimedEvent{
+			{At: 0, Do: func(rt *harness.Runtime) error {
+				_, err := rt.Topo.IsolateCluster(1)
+				return err
+			}},
+		},
+		Drain: 5 * 1e9, // 5s: not enough for the partition to heal (it never does)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("setup: run unexpectedly complete")
+	}
+	var sb strings.Builder
+	if err := res.WriteDeliveryCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ",,") {
+		t.Error("no empty cells for missing deliveries")
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rbcast/internal/core"
+	"rbcast/internal/netsim"
+)
+
+// ParentGraphDOT renders the current host parent graph as Graphviz DOT:
+// hosts grouped into their true clusters, an edge from every host to its
+// parent, leaders double-circled, and the source shaded. Useful for
+// eyeballing convergence (`rbsim -dot out.dot && dot -Tsvg out.dot`).
+func (rt *Runtime) ParentGraphDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph parentgraph {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=circle fontname=\"sans-serif\"];\n")
+
+	truth := rt.Net.TrueClusters()
+	clusterHosts := map[int][]core.HostID{}
+	for h, c := range truth {
+		clusterHosts[c] = append(clusterHosts[c], core.HostID(h))
+	}
+	var clusterIDs []int
+	for c := range clusterHosts {
+		clusterIDs = append(clusterIDs, c)
+	}
+	sort.Ints(clusterIDs)
+
+	source := core.HostID(rt.Topo.Source)
+	for _, c := range clusterIDs {
+		hosts := clusterHosts[c]
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", c)
+		fmt.Fprintf(&b, "    label=\"cluster %d\";\n", c)
+		for _, h := range hosts {
+			attrs := []string{fmt.Sprintf("label=\"%d\"", h)}
+			if th, ok := rt.TreeHosts[h]; ok && th.IsLeader() {
+				attrs = append(attrs, "shape=doublecircle")
+			}
+			if h == source {
+				attrs = append(attrs, "style=filled", "fillcolor=lightgray")
+			}
+			fmt.Fprintf(&b, "    h%d [%s];\n", h, strings.Join(attrs, " "))
+		}
+		b.WriteString("  }\n")
+	}
+
+	var ids []core.HostID
+	for id := range rt.TreeHosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := rt.TreeHosts[id].Parent()
+		if p == core.Nil {
+			continue
+		}
+		style := ""
+		if truth[netsim.HostID(id)] != truth[netsim.HostID(p)] {
+			style = " [style=bold color=red]" // expensive (inter-cluster) edge
+		}
+		fmt.Fprintf(&b, "  h%d -> h%d%s;\n", id, p, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rbcast/internal/harness"
+	"rbcast/internal/topo"
+)
+
+func TestParentGraphDOT(t *testing.T) {
+	rt, err := harness.Prepare(harness.Scenario{
+		Seed:     41,
+		Build:    clusteredBuild(2, 2, topo.WANStar),
+		Protocol: harness.ProtocolTree,
+		Messages: 10,
+		WarmUp:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dot := rt.ParentGraphDOT()
+	for _, want := range []string{
+		"digraph parentgraph",
+		"subgraph cluster_",
+		"h1 [", // source node present
+		"fillcolor=lightgray",
+		"->", // at least one parent edge after convergence
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one edge per parented host.
+	edges := strings.Count(dot, "->")
+	parented := 0
+	for _, h := range rt.TreeHosts {
+		if h.Parent() != 0 {
+			parented++
+		}
+	}
+	if edges != parented {
+		t.Errorf("DOT has %d edges, want %d (one per parented host)", edges, parented)
+	}
+	// Inter-cluster edges are highlighted.
+	if parented > 0 && !strings.Contains(dot, "color=red") {
+		t.Error("no highlighted inter-cluster edge in a 2-cluster graph")
+	}
+}

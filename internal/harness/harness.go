@@ -1,0 +1,508 @@
+// Package harness runs complete broadcast scenarios: it builds a
+// topology, wires protocol hosts (the paper's tree protocol or the §1
+// basic baseline) onto the simulated network, drives a workload and a
+// failure schedule, and collects the metrics the paper's §5 evaluation
+// arguments are about.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"rbcast/internal/basic"
+	"rbcast/internal/core"
+	"rbcast/internal/netsim"
+	"rbcast/internal/seqset"
+	"rbcast/internal/sim"
+	"rbcast/internal/topo"
+	"rbcast/internal/wire"
+)
+
+// Protocol selects the broadcast algorithm under test.
+type Protocol int
+
+const (
+	// ProtocolTree is the paper's protocol (internal/core).
+	ProtocolTree Protocol = iota + 1
+	// ProtocolBasic is the §1 baseline (internal/basic).
+	ProtocolBasic
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolTree:
+		return "tree"
+	case ProtocolBasic:
+		return "basic"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// TimedEvent is a scheduled scenario action (failure injection, repair,
+// topology change).
+type TimedEvent struct {
+	At time.Duration
+	Do func(*Runtime) error
+}
+
+// Scenario describes one simulation run.
+type Scenario struct {
+	// Name labels the run in results.
+	Name string
+	// Seed drives all randomness.
+	Seed int64
+	// Build constructs the topology on the given engine.
+	Build func(*sim.Engine) (*topo.Topology, error)
+	// Protocol selects tree or basic; default ProtocolTree.
+	Protocol Protocol
+	// Params tunes the tree protocol; zero value uses defaults.
+	Params core.Params
+	// BasicParams tunes the baseline; zero value uses defaults.
+	BasicParams basic.Params
+	// Order optionally overrides the static host order for the tree
+	// protocol.
+	Order map[core.HostID]int
+	// Messages is the number of data messages the source broadcasts.
+	Messages int
+	// MsgInterval separates consecutive broadcasts; default 200 ms.
+	MsgInterval time.Duration
+	// PayloadSize is the data payload length in bytes; default 32.
+	PayloadSize int
+	// WarmUp is virtual time before the first broadcast (lets the tree
+	// form); default 3 s for the tree protocol, 0 for basic.
+	WarmUp time.Duration
+	// Drain is the maximum extra virtual time after the last broadcast.
+	// Default 30 s.
+	Drain time.Duration
+	// Events is the failure/repair schedule.
+	Events []TimedEvent
+	// StopWhenComplete ends the run as soon as every host has every
+	// message (the completion time is recorded either way).
+	StopWhenComplete bool
+	// CollectEvents retains protocol events in the result (tree only).
+	CollectEvents bool
+}
+
+func (s Scenario) withDefaults() (Scenario, error) {
+	if s.Build == nil {
+		return s, fmt.Errorf("harness: Scenario.Build is nil")
+	}
+	if s.Protocol == 0 {
+		s.Protocol = ProtocolTree
+	}
+	if s.Messages < 0 {
+		return s, fmt.Errorf("harness: negative Messages %d", s.Messages)
+	}
+	if s.MsgInterval <= 0 {
+		s.MsgInterval = 200 * time.Millisecond
+	}
+	if s.PayloadSize <= 0 {
+		s.PayloadSize = 32
+	}
+	if s.WarmUp == 0 && s.Protocol == ProtocolTree {
+		s.WarmUp = 3 * time.Second
+	}
+	if s.Drain <= 0 {
+		s.Drain = 30 * time.Second
+	}
+	if s.Params == (core.Params{}) {
+		s.Params = core.DefaultParams()
+	}
+	if s.BasicParams == (basic.Params{}) {
+		s.BasicParams = basic.DefaultParams()
+	}
+	return s, nil
+}
+
+// Runtime is the live state of a running scenario, exposed to scheduled
+// events and, read-only, to tests after the run.
+type Runtime struct {
+	Engine *sim.Engine
+	Topo   *topo.Topology
+	Net    *netsim.Network
+	// TreeHosts maps host ID to protocol state (tree protocol runs only).
+	TreeHosts map[core.HostID]*core.Host
+	// BasicSource and BasicReceivers are set for baseline runs.
+	BasicSource    *basic.Source
+	BasicReceivers map[core.HostID]*basic.Receiver
+
+	scenario Scenario
+	result   *Result
+}
+
+// Run executes the scenario to completion and returns the result.
+func Run(s Scenario) (*Result, error) {
+	rt, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Finish()
+}
+
+// Prepare builds the runtime without running it; tests use this to
+// interleave their own assertions with engine execution.
+func Prepare(s Scenario) (*Runtime, error) {
+	s, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(s.Seed)
+	tp, err := s.Build(eng)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building topology: %w", err)
+	}
+	rt := &Runtime{
+		Engine:   eng,
+		Topo:     tp,
+		Net:      tp.Net,
+		scenario: s,
+		result:   newResult(s, tp),
+	}
+	rt.instrument()
+	switch s.Protocol {
+	case ProtocolTree:
+		if err := rt.buildTree(); err != nil {
+			return nil, err
+		}
+	case ProtocolBasic:
+		if err := rt.buildBasic(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %v", s.Protocol)
+	}
+	rt.scheduleWorkload()
+	for _, ev := range s.Events {
+		ev := ev
+		eng.Schedule(ev.At, func() {
+			if err := ev.Do(rt); err != nil {
+				rt.result.EventErrors = append(rt.result.EventErrors,
+					fmt.Sprintf("t=%v: %v", eng.Now(), err))
+			}
+		})
+	}
+	return rt, nil
+}
+
+// Horizon returns the scheduled end time of the scenario.
+func (rt *Runtime) Horizon() time.Duration {
+	s := rt.scenario
+	end := s.WarmUp + time.Duration(s.Messages)*s.MsgInterval + s.Drain
+	for _, ev := range s.Events {
+		if ev.At+s.Drain > end {
+			end = ev.At + s.Drain
+		}
+	}
+	return end
+}
+
+// Finish runs the scenario to its horizon (or completion) and finalizes
+// the result.
+func (rt *Runtime) Finish() (*Result, error) {
+	if err := rt.RunUntil(rt.Horizon()); err != nil {
+		return nil, err
+	}
+	rt.finalize()
+	return rt.result, nil
+}
+
+// RunUntil advances virtual time to the given instant, stopping early at
+// completion when the scenario asks for it.
+func (rt *Runtime) RunUntil(until time.Duration) error {
+	const step = 100 * time.Millisecond
+	for rt.Engine.Now() < until {
+		next := rt.Engine.Now() + step
+		if next > until {
+			next = until
+		}
+		if err := rt.Engine.Run(next); err != nil {
+			return err
+		}
+		if rt.scenario.StopWhenComplete && rt.result.Complete {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Result returns the (possibly unfinalized) result under collection.
+func (rt *Runtime) Result() *Result { return rt.result }
+
+// instrument classifies every host-level send by protocol message kind,
+// counts sends to currently-unreachable destinations (the §5 partition
+// waste metric), and counts server-link traversals of data messages (the
+// Figure 3.1 link-cost metric).
+func (rt *Runtime) instrument() {
+	res := rt.result
+	rt.Net.OnSend = func(env netsim.Envelope, inter bool) {
+		kind := classify(env.Payload)
+		res.SendsByKind[kind]++
+		if m, ok := env.Payload.(core.Message); ok && m.Kind == core.MsgBundle {
+			res.LogicalSends += uint64(len(m.Parts))
+		} else {
+			res.LogicalSends++
+		}
+		if inter {
+			res.InterClusterByKind[kind]++
+		}
+		if !rt.Net.PathExists(env.From, env.To) {
+			res.UnreachableSends++
+			res.UnreachableSendsByKind[kind]++
+		}
+		if m, ok := env.Payload.(core.Message); ok {
+			if data, err := wire.Encode(wire.Frame{From: core.HostID(env.From), Message: m}); err == nil {
+				res.WireBytes += uint64(len(data))
+			}
+		}
+	}
+	rt.Net.OnLinkTransmit = func(_ netsim.LinkID, class netsim.LinkClass, env netsim.Envelope) {
+		kind := classify(env.Payload)
+		if kind == kindData || kind == kindGapFill {
+			res.DataLinkTraversals++
+			if class == netsim.Expensive {
+				res.DataExpensiveTraversals++
+			}
+		}
+	}
+	source := rt.Topo.Source
+	rt.Net.OnHostLinkTransmit = func(h netsim.HostID, env netsim.Envelope) {
+		if h == source {
+			res.SourceLinkByKind[classify(env.Payload)]++
+		}
+	}
+}
+
+// BroadcastNow generates one data message immediately (outside the
+// scheduled workload); scenario events use it for precisely timed
+// broadcasts. The result's accounting treats it like any other message.
+func (rt *Runtime) BroadcastNow(payload []byte) error {
+	now := rt.Engine.Now()
+	var seq seqset.Seq
+	switch rt.scenario.Protocol {
+	case ProtocolTree:
+		seq = rt.TreeHosts[core.HostID(rt.Topo.Source)].Broadcast(now, payload)
+	case ProtocolBasic:
+		seq = rt.BasicSource.Broadcast(now, payload)
+	default:
+		return fmt.Errorf("harness: unknown protocol %v", rt.scenario.Protocol)
+	}
+	rt.result.BroadcastAt[seq] = now
+	rt.result.ManualMessages++
+	rt.result.ExpectedCount += rt.result.Hosts
+	rt.result.Complete = rt.result.DeliveredCount == rt.result.ExpectedCount
+	return nil
+}
+
+// Send-kind labels. Data and gap fills are separated because the paper's
+// cost accounting distinguishes first-delivery traffic from redelivery.
+const (
+	kindData    = "data"
+	kindGapFill = "gapfill"
+	kindAck     = "ack"
+	kindOther   = "other"
+)
+
+func classify(payload any) string {
+	switch m := payload.(type) {
+	case core.Message:
+		if m.Kind == core.MsgData {
+			if m.GapFill {
+				return kindGapFill
+			}
+			return kindData
+		}
+		return m.Kind.String()
+	case basic.Message:
+		if m.Kind == basic.KindData {
+			return kindData
+		}
+		return kindAck
+	default:
+		return kindOther
+	}
+}
+
+type treeEnv struct {
+	rt *Runtime
+	id core.HostID
+}
+
+func (e treeEnv) Send(to core.HostID, m core.Message) {
+	if err := e.rt.Net.Send(netsim.HostID(e.id), netsim.HostID(to), m); err != nil {
+		e.rt.result.SendErrors++
+	}
+}
+
+func (e treeEnv) Deliver(seq seqset.Seq, _ []byte) {
+	e.rt.record(e.id, seq)
+}
+
+func (rt *Runtime) buildTree() error {
+	s := rt.scenario
+	peers := make([]core.HostID, 0, len(rt.Topo.Hosts))
+	for _, h := range rt.Topo.Hosts {
+		peers = append(peers, core.HostID(h))
+	}
+	source := core.HostID(rt.Topo.Source)
+	rt.TreeHosts = make(map[core.HostID]*core.Host, len(peers))
+	// In static cluster mode (§6), hosts are seeded with the generated
+	// clustering as their fixed CLUSTER knowledge.
+	staticClusters := make(map[core.HostID][]core.HostID)
+	if s.Params.ClusterMode == core.ClusterStatic {
+		for _, group := range rt.Topo.HostsByCluster {
+			members := make([]core.HostID, 0, len(group))
+			for _, h := range group {
+				members = append(members, core.HostID(h))
+			}
+			for _, h := range members {
+				staticClusters[h] = members
+			}
+		}
+	}
+	for _, id := range peers {
+		id := id
+		var obs core.Observer
+		if s.CollectEvents {
+			obs = func(ev core.Event) {
+				rt.result.Events = append(rt.result.Events, ev)
+			}
+		}
+		h, err := core.NewHost(core.Config{
+			ID:             id,
+			Source:         source,
+			Peers:          peers,
+			Order:          s.Order,
+			Params:         s.Params,
+			InitialCluster: staticClusters[id],
+			Observer:       obs,
+		}, treeEnv{rt: rt, id: id})
+		if err != nil {
+			return fmt.Errorf("harness: host %d: %w", id, err)
+		}
+		rt.TreeHosts[id] = h
+		if err := rt.Net.Handle(netsim.HostID(id), func(now time.Duration, env netsim.Envelope) {
+			m, ok := env.Payload.(core.Message)
+			if !ok {
+				return
+			}
+			h.HandleMessage(now, core.HostID(env.From), env.CostBit, m)
+		}); err != nil {
+			return err
+		}
+		rt.tickLoop(s.Params.TickInterval, h.Tick)
+	}
+	return nil
+}
+
+type basicEnv struct {
+	rt *Runtime
+	id core.HostID
+}
+
+func (e basicEnv) Send(to core.HostID, m basic.Message) {
+	if err := e.rt.Net.Send(netsim.HostID(e.id), netsim.HostID(to), m); err != nil {
+		e.rt.result.SendErrors++
+	}
+}
+
+func (e basicEnv) Deliver(seq seqset.Seq, _ []byte) {
+	e.rt.record(e.id, seq)
+}
+
+func (rt *Runtime) buildBasic() error {
+	s := rt.scenario
+	source := core.HostID(rt.Topo.Source)
+	peers := make([]core.HostID, 0, len(rt.Topo.Hosts))
+	for _, h := range rt.Topo.Hosts {
+		peers = append(peers, core.HostID(h))
+	}
+	src, err := basic.NewSource(source, peers, s.BasicParams, basicEnv{rt: rt, id: source})
+	if err != nil {
+		return err
+	}
+	rt.BasicSource = src
+	rt.BasicReceivers = make(map[core.HostID]*basic.Receiver)
+	if err := rt.Net.Handle(netsim.HostID(source), func(now time.Duration, env netsim.Envelope) {
+		m, ok := env.Payload.(basic.Message)
+		if !ok {
+			return
+		}
+		src.HandleMessage(now, core.HostID(env.From), m)
+	}); err != nil {
+		return err
+	}
+	rt.tickLoop(s.BasicParams.TickInterval, src.Tick)
+	for _, id := range peers {
+		if id == source {
+			continue
+		}
+		rcv, err := basic.NewReceiver(id, source, basicEnv{rt: rt, id: id})
+		if err != nil {
+			return err
+		}
+		rt.BasicReceivers[id] = rcv
+		if err := rt.Net.Handle(netsim.HostID(id), func(now time.Duration, env netsim.Envelope) {
+			m, ok := env.Payload.(basic.Message)
+			if !ok {
+				return
+			}
+			rcv.HandleMessage(now, core.HostID(env.From), m)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tickLoop schedules the periodic clock for one protocol entity.
+func (rt *Runtime) tickLoop(interval time.Duration, tick func(time.Duration)) {
+	rt.Engine.Schedule(0, func() { tick(rt.Engine.Now()) })
+	rt.Engine.Every(interval, func() { tick(rt.Engine.Now()) })
+}
+
+func (rt *Runtime) scheduleWorkload() {
+	s := rt.scenario
+	payload := make([]byte, s.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < s.Messages; i++ {
+		at := s.WarmUp + time.Duration(i)*s.MsgInterval
+		rt.Engine.Schedule(at, func() {
+			now := rt.Engine.Now()
+			var seq seqset.Seq
+			switch s.Protocol {
+			case ProtocolTree:
+				seq = rt.TreeHosts[core.HostID(rt.Topo.Source)].Broadcast(now, payload)
+			case ProtocolBasic:
+				seq = rt.BasicSource.Broadcast(now, payload)
+			}
+			rt.result.BroadcastAt[seq] = now
+		})
+	}
+}
+
+func (rt *Runtime) record(id core.HostID, seq seqset.Seq) {
+	res := rt.result
+	now := rt.Engine.Now()
+	per, ok := res.DeliveredAt[id]
+	if !ok {
+		per = make(map[seqset.Seq]time.Duration)
+		res.DeliveredAt[id] = per
+	}
+	if _, dup := per[seq]; dup {
+		res.DuplicateDeliveries++
+		return
+	}
+	per[seq] = now
+	res.DeliveredCount++
+	if sent, ok := res.BroadcastAt[seq]; ok {
+		res.Delays.Add(now - sent)
+	}
+	if res.DeliveredCount == res.ExpectedCount && !res.Complete {
+		res.Complete = true
+		res.CompletionAt = now
+	}
+}

@@ -1,0 +1,14 @@
+package harness_test
+
+import "rbcast/internal/netsim"
+
+// lossy returns a cheap link config with the given loss probability.
+func lossy(p float64) netsim.LinkConfig {
+	return netsim.LinkConfig{Class: netsim.Cheap, LossProb: p}
+}
+
+// lossyExpensive returns an expensive link config with the given loss
+// probability.
+func lossyExpensive(p float64) netsim.LinkConfig {
+	return netsim.LinkConfig{Class: netsim.Expensive, LossProb: p}
+}

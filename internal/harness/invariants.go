@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"rbcast/internal/core"
+	"rbcast/internal/netsim"
+)
+
+// This file checks the paper's structural claims about the host parent
+// graph against simulator ground truth. Tests call these after letting a
+// scenario converge.
+
+// ParentGraphAcyclic reports whether the current parent pointers contain
+// no cycle.
+func (rt *Runtime) ParentGraphAcyclic() (bool, []core.HostID) {
+	if rt.TreeHosts == nil {
+		return true, nil
+	}
+	for id := range rt.TreeHosts {
+		seen := map[core.HostID]bool{}
+		cur := id
+		for cur != core.Nil {
+			if seen[cur] {
+				// Walk the cycle for the report.
+				var cycle []core.HostID
+				at := cur
+				for {
+					cycle = append(cycle, at)
+					at = rt.TreeHosts[at].Parent()
+					if at == cur || at == core.Nil {
+						break
+					}
+				}
+				return false, cycle
+			}
+			seen[cur] = true
+			h, ok := rt.TreeHosts[cur]
+			if !ok {
+				break
+			}
+			cur = h.Parent()
+		}
+	}
+	return true, nil
+}
+
+// SpanningTreeRooted reports whether every host reaches the source by
+// following parent pointers (the parent graph is a spanning tree rooted
+// at the source).
+func (rt *Runtime) SpanningTreeRooted() (bool, string) {
+	if rt.TreeHosts == nil {
+		return false, "not a tree-protocol run"
+	}
+	source := core.HostID(rt.Topo.Source)
+	for id := range rt.TreeHosts {
+		if id == source {
+			if p := rt.TreeHosts[id].Parent(); p != core.Nil {
+				return false, fmt.Sprintf("source has parent %d", p)
+			}
+			continue
+		}
+		cur := id
+		steps := 0
+		for cur != source {
+			if cur == core.Nil {
+				return false, fmt.Sprintf("host %d's ancestry ends at NIL", id)
+			}
+			if steps > len(rt.TreeHosts) {
+				return false, fmt.Sprintf("host %d's ancestry does not terminate (cycle)", id)
+			}
+			cur = rt.TreeHosts[cur].Parent()
+			steps++
+		}
+	}
+	return true, ""
+}
+
+// InducesClusterTree checks the §4.1 definition against true clusters:
+// (1) the parent graph is a spanning tree rooted at the source, and
+// (2) within each true cluster there is exactly one leader (a host whose
+// parent is outside the cluster or NIL) and every other host of the
+// cluster is a direct child of that leader.
+func (rt *Runtime) InducesClusterTree() (bool, string) {
+	if ok, why := rt.SpanningTreeRooted(); !ok {
+		return false, why
+	}
+	truth := rt.Net.TrueClusters()
+	clusterHosts := map[int][]core.HostID{}
+	for h, c := range truth {
+		clusterHosts[c] = append(clusterHosts[c], core.HostID(h))
+	}
+	var clusters []int
+	for c := range clusterHosts {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		hosts := clusterHosts[c]
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		var leaders []core.HostID
+		for _, h := range hosts {
+			p := rt.TreeHosts[h].Parent()
+			if p == core.Nil || truth[netsim.HostID(p)] != c {
+				leaders = append(leaders, h)
+			}
+		}
+		if len(leaders) != 1 {
+			return false, fmt.Sprintf("cluster %d has %d leaders (%v)", c, len(leaders), leaders)
+		}
+		leader := leaders[0]
+		for _, h := range hosts {
+			if h == leader {
+				continue
+			}
+			if p := rt.TreeHosts[h].Parent(); p != leader {
+				return false, fmt.Sprintf(
+					"cluster %d: host %d's parent is %d, not leader %d", c, h, p, leader)
+			}
+		}
+	}
+	return true, ""
+}
+
+// LeadersPerTrueCluster counts current leaders in every true cluster.
+func (rt *Runtime) LeadersPerTrueCluster() map[int]int {
+	truth := rt.Net.TrueClusters()
+	out := map[int]int{}
+	for h, c := range truth {
+		th, ok := rt.TreeHosts[core.HostID(h)]
+		if !ok {
+			continue
+		}
+		p := th.Parent()
+		if p == core.Nil || truth[netsim.HostID(p)] != c {
+			out[c]++
+		}
+	}
+	return out
+}

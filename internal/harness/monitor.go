@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"rbcast/internal/core"
+)
+
+// CycleEpisode is one contiguous period during which the host parent
+// graph contained a cycle.
+type CycleEpisode struct {
+	// Start is when the cycle was first observed; End when it was first
+	// observed gone (valid only if Resolved).
+	Start, End time.Duration
+	// Hosts are the members of the first cycle observed in the episode.
+	Hosts []core.HostID
+	// Resolved reports whether the cycle disappeared before the run ended.
+	Resolved bool
+}
+
+// Duration returns the episode length (0 for unresolved episodes).
+func (e CycleEpisode) Duration() time.Duration {
+	if !e.Resolved {
+		return 0
+	}
+	return e.End - e.Start
+}
+
+// CycleMonitor samples the parent graph periodically and records cycle
+// episodes, turning the paper's §4.3 stability argument — "unless there
+// is a partition in the network, no cycle in the parent graph can be
+// stable" — into a measurable property.
+type CycleMonitor struct {
+	episodes []CycleEpisode
+	active   bool
+	samples  int
+}
+
+// MonitorCycles starts sampling the runtime's parent graph every period.
+// Call before Finish/RunUntil; the returned monitor accumulates episodes
+// for the rest of the run.
+func (rt *Runtime) MonitorCycles(period time.Duration) *CycleMonitor {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	m := &CycleMonitor{}
+	var sample func()
+	sample = func() {
+		acyclic, cycle := rt.ParentGraphAcyclic()
+		m.observe(rt.Engine.Now(), acyclic, cycle)
+		rt.Engine.Schedule(period, sample)
+	}
+	rt.Engine.Schedule(0, sample)
+	return m
+}
+
+// observe feeds one sample; exported logic kept separate from scheduling
+// so it is directly testable.
+func (m *CycleMonitor) observe(now time.Duration, acyclic bool, cycle []core.HostID) {
+	m.samples++
+	switch {
+	case !acyclic && !m.active:
+		m.active = true
+		m.episodes = append(m.episodes, CycleEpisode{
+			Start: now,
+			Hosts: append([]core.HostID(nil), cycle...),
+		})
+	case acyclic && m.active:
+		m.active = false
+		ep := &m.episodes[len(m.episodes)-1]
+		ep.End = now
+		ep.Resolved = true
+	}
+}
+
+// Samples returns the number of observations taken.
+func (m *CycleMonitor) Samples() int { return m.samples }
+
+// Episodes returns all recorded episodes.
+func (m *CycleMonitor) Episodes() []CycleEpisode {
+	out := make([]CycleEpisode, len(m.episodes))
+	copy(out, m.episodes)
+	return out
+}
+
+// Unresolved returns episodes that never ended.
+func (m *CycleMonitor) Unresolved() []CycleEpisode {
+	var out []CycleEpisode
+	for _, e := range m.episodes {
+		if !e.Resolved {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CheckStability asserts the §4.3 property against the recorded
+// episodes: every cycle resolved, and none lasted longer than bound.
+func (m *CycleMonitor) CheckStability(bound time.Duration) error {
+	for _, e := range m.episodes {
+		if !e.Resolved {
+			return fmt.Errorf("harness: cycle %v observed at %v never resolved", e.Hosts, e.Start)
+		}
+		if e.Duration() > bound {
+			return fmt.Errorf("harness: cycle %v persisted %v (> %v)", e.Hosts, e.Duration(), bound)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+)
+
+func TestCycleMonitorObserveTransitions(t *testing.T) {
+	m := &CycleMonitor{}
+	cyc := []core.HostID{2, 3, 4}
+
+	m.observe(1*time.Second, true, nil)  // healthy
+	m.observe(2*time.Second, false, cyc) // cycle appears
+	m.observe(3*time.Second, false, cyc) // persists (same episode)
+	m.observe(4*time.Second, true, nil)  // resolves
+	m.observe(5*time.Second, false, cyc) // second episode, never resolves
+
+	eps := m.Episodes()
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	first := eps[0]
+	if !first.Resolved || first.Start != 2*time.Second || first.End != 4*time.Second {
+		t.Errorf("first episode = %+v", first)
+	}
+	if first.Duration() != 2*time.Second {
+		t.Errorf("first episode duration = %v, want 2s", first.Duration())
+	}
+	if len(first.Hosts) != 3 {
+		t.Errorf("first episode hosts = %v", first.Hosts)
+	}
+	second := eps[1]
+	if second.Resolved {
+		t.Error("second episode marked resolved")
+	}
+	if second.Duration() != 0 {
+		t.Errorf("unresolved episode duration = %v, want 0", second.Duration())
+	}
+	if got := m.Unresolved(); len(got) != 1 {
+		t.Errorf("Unresolved = %v, want one episode", got)
+	}
+	if err := m.CheckStability(10 * time.Second); err == nil {
+		t.Error("CheckStability passed with an unresolved episode")
+	}
+
+	// Resolve it; now only the duration bound matters.
+	m.observe(30*time.Second, true, nil)
+	if err := m.CheckStability(10 * time.Second); err == nil {
+		t.Error("CheckStability passed with a 25s episode against a 10s bound")
+	}
+	if err := m.CheckStability(time.Minute); err != nil {
+		t.Errorf("CheckStability failed within a generous bound: %v", err)
+	}
+	if m.Samples() != 6 {
+		t.Errorf("Samples = %d, want 6", m.Samples())
+	}
+}

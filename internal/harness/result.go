@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/metrics"
+	"rbcast/internal/netsim"
+	"rbcast/internal/seqset"
+	"rbcast/internal/topo"
+)
+
+// Result is everything a finished scenario measured.
+type Result struct {
+	// Name echoes the scenario.
+	Name string
+	// Protocol echoes the scenario.
+	Protocol Protocol
+	// Hosts is the participant count.
+	Hosts int
+	// HostList enumerates every participant, ascending.
+	HostList []core.HostID
+	// Clusters is the generated cluster count.
+	Clusters int
+	// Messages echoes the scenario.
+	Messages int
+
+	// BroadcastAt records when each sequence number was generated.
+	BroadcastAt map[seqset.Seq]time.Duration
+	// DeliveredAt records first delivery time per host per message.
+	DeliveredAt map[core.HostID]map[seqset.Seq]time.Duration
+	// Delays aggregates per-delivery latency (delivery − broadcast).
+	Delays metrics.Durations
+	// DeliveredCount counts distinct (host, seq) deliveries.
+	DeliveredCount int
+	// ExpectedCount is Hosts × Messages.
+	ExpectedCount int
+	// Complete reports whether every host received every message.
+	Complete bool
+	// CompletionAt is when the final expected delivery happened.
+	CompletionAt time.Duration
+	// DuplicateDeliveries counts Deliver calls for already-delivered
+	// (host, seq) pairs; protocol invariants say this must be zero.
+	DuplicateDeliveries int
+
+	// SendsByKind counts host-level sends per message kind ("data",
+	// "gapfill", "info", "attach-req", "attach-accept", "attach-reject",
+	// "detach", "ack").
+	SendsByKind map[string]uint64
+	// InterClusterByKind restricts SendsByKind to sends crossing true
+	// cluster boundaries — the paper's §5 cost metric.
+	InterClusterByKind map[string]uint64
+
+	// UnreachableSends counts host-level sends made while no path to the
+	// destination existed — traffic wasted into a partition.
+	UnreachableSends uint64
+	// UnreachableSendsByKind breaks UnreachableSends down by kind.
+	UnreachableSendsByKind map[string]uint64
+	// DataLinkTraversals counts server-link traversals of data and
+	// gap-fill messages (Figure 3.1's link-cost metric).
+	DataLinkTraversals uint64
+	// DataExpensiveTraversals restricts DataLinkTraversals to expensive
+	// links.
+	DataExpensiveTraversals uint64
+	// ManualMessages counts broadcasts injected via Runtime.BroadcastNow.
+	ManualMessages int
+	// WireBytes totals the binary wire size of all tree-protocol sends
+	// (bundled packets encode once), for packet-vs-byte comparisons.
+	WireBytes uint64
+	// LogicalSends counts protocol messages as opposed to packets: a
+	// piggybacked bundle is one send (packet) but len(Parts) logical
+	// messages. Without piggybacking, LogicalSends == TotalSends().
+	LogicalSends uint64
+
+	// NetStats is a snapshot of network-level counters.
+	NetStats netsim.Stats
+	// SourceHostLinkTransmissions is the traffic on the source's access
+	// link (the §5 congestion argument).
+	SourceHostLinkTransmissions uint64
+	// SourceLinkByKind breaks the source access-link traffic down by
+	// message kind (both directions).
+	SourceLinkByKind map[string]uint64
+
+	// FinalParents is the tree protocol's parent pointer per host at the
+	// end of the run.
+	FinalParents map[core.HostID]core.HostID
+	// Events holds collected protocol events when requested.
+	Events []core.Event
+	// EventErrors records failures of scheduled scenario events.
+	EventErrors []string
+	// SendErrors counts rejected Network.Send calls (should be zero).
+	SendErrors int
+}
+
+func newResult(s Scenario, tp *topo.Topology) *Result {
+	hostList := make([]core.HostID, 0, len(tp.Hosts))
+	for _, h := range tp.Hosts {
+		hostList = append(hostList, core.HostID(h))
+	}
+	return &Result{
+		Name:     s.Name,
+		Protocol: s.Protocol,
+		Hosts:    len(tp.Hosts),
+		HostList: hostList,
+		// A run that expects nothing is trivially complete; BroadcastNow
+		// revokes this when it raises the expectation.
+		Complete:               s.Messages == 0,
+		Clusters:               len(tp.HostsByCluster),
+		Messages:               s.Messages,
+		BroadcastAt:            make(map[seqset.Seq]time.Duration),
+		DeliveredAt:            make(map[core.HostID]map[seqset.Seq]time.Duration),
+		ExpectedCount:          len(tp.Hosts) * s.Messages,
+		SendsByKind:            make(map[string]uint64),
+		InterClusterByKind:     make(map[string]uint64),
+		UnreachableSendsByKind: make(map[string]uint64),
+		SourceLinkByKind:       make(map[string]uint64),
+	}
+}
+
+func (rt *Runtime) finalize() {
+	res := rt.result
+	res.NetStats = *rt.Net.Stats()
+	res.SourceHostLinkTransmissions = res.NetStats.HostLinkTransmissions[rt.Topo.Source]
+	if rt.TreeHosts != nil {
+		res.FinalParents = make(map[core.HostID]core.HostID, len(rt.TreeHosts))
+		for id, h := range rt.TreeHosts {
+			res.FinalParents[id] = h.Parent()
+		}
+	}
+}
+
+// InterClusterData returns inter-cluster first-delivery data sends.
+func (r *Result) InterClusterData() uint64 { return r.InterClusterByKind[kindData] }
+
+// InterClusterControl returns inter-cluster sends that are not plain
+// data (control messages plus gap-fill redeliveries are reported
+// separately by kind; this sums everything but "data").
+func (r *Result) InterClusterControl() uint64 {
+	var sum uint64
+	for kind, n := range r.InterClusterByKind {
+		if kind != kindData && kind != kindGapFill {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// TotalSends sums all host-level sends.
+func (r *Result) TotalSends() uint64 {
+	var sum uint64
+	for _, n := range r.SendsByKind {
+		sum += n
+	}
+	return sum
+}
+
+// ControlSends sums non-data, non-gapfill host-level sends.
+func (r *Result) ControlSends() uint64 {
+	var sum uint64
+	for kind, n := range r.SendsByKind {
+		if kind != kindData && kind != kindGapFill {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// TotalMessages counts scheduled plus manually injected broadcasts.
+func (r *Result) TotalMessages() int { return r.Messages + r.ManualMessages }
+
+// InterClusterDataPerMessage is the paper's headline cost figure: the
+// average number of inter-cluster host-to-host transmissions of data
+// (including gap fills) needed per broadcast message.
+func (r *Result) InterClusterDataPerMessage() float64 {
+	if r.TotalMessages() == 0 {
+		return 0
+	}
+	return float64(r.InterClusterByKind[kindData]+r.InterClusterByKind[kindGapFill]) /
+		float64(r.TotalMessages())
+}
+
+// DataLinkTraversalsPerMessage averages Figure 3.1's link-cost metric.
+func (r *Result) DataLinkTraversalsPerMessage() float64 {
+	if r.TotalMessages() == 0 {
+		return 0
+	}
+	return float64(r.DataLinkTraversals) / float64(r.TotalMessages())
+}
+
+// DeliveryRatio is delivered / expected in [0, 1].
+func (r *Result) DeliveryRatio() float64 {
+	if r.ExpectedCount == 0 {
+		return 1
+	}
+	return float64(r.DeliveredCount) / float64(r.ExpectedCount)
+}
+
+// MissingAt lists the sequence numbers host h never received.
+func (r *Result) MissingAt(h core.HostID) []seqset.Seq {
+	var out []seqset.Seq
+	per := r.DeliveredAt[h]
+	for q := seqset.Seq(1); q <= seqset.Seq(r.TotalMessages()); q++ {
+		if _, ok := per[q]; !ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-scenario overview table.
+func (r *Result) Summary() string {
+	t := metrics.NewTable("metric", "value")
+	t.AddRow("protocol", r.Protocol.String())
+	t.AddRow("hosts", r.Hosts)
+	t.AddRow("clusters", r.Clusters)
+	t.AddRow("messages", r.Messages)
+	t.AddRow("delivered", fmt.Sprintf("%d/%d", r.DeliveredCount, r.ExpectedCount))
+	t.AddRow("complete", r.Complete)
+	if r.Complete {
+		t.AddRow("completion at", r.CompletionAt)
+	}
+	t.AddRow("mean delay", r.Delays.Mean())
+	t.AddRow("p99 delay", r.Delays.Quantile(0.99))
+	t.AddRow("inter-cluster data/msg", r.InterClusterDataPerMessage())
+	t.AddRow("control sends", r.ControlSends())
+	t.AddRow("total sends", r.TotalSends())
+	t.AddRow("source host-link load", r.SourceHostLinkTransmissions)
+	kinds := make([]string, 0, len(r.SendsByKind))
+	for k := range r.SendsByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.AddRow("sends["+k+"]", r.SendsByKind[k])
+	}
+	return t.String()
+}

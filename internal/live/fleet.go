@@ -1,0 +1,413 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/multi"
+	"rbcast/internal/seqset"
+)
+
+// FleetConfig assembles a live protocol deployment.
+type FleetConfig struct {
+	// Hosts lists every participant; Source must be among them.
+	Hosts  []core.HostID
+	Source core.HostID
+	// Sources optionally lists additional broadcasting hosts: per the
+	// paper's §2, each runs its own identical single-source protocol
+	// instance (a stream). When empty, only Source broadcasts. Source is
+	// always included.
+	Sources []core.HostID
+	// Clusters optionally groups hosts; within a group paths are cheap,
+	// across groups expensive. Ungrouped host pairs default to cheap.
+	Clusters [][]core.HostID
+	// Params tunes the protocol. The zero value uses LiveParams().
+	Params core.Params
+	// Seed drives the transport's randomness.
+	Seed int64
+	// OnDeliver, if set, observes every application delivery.
+	OnDeliver func(host core.HostID, stream core.HostID, seq seqset.Seq, payload []byte)
+}
+
+// LiveParams returns protocol tunables scaled for sub-millisecond
+// in-memory paths, so live tests converge in tens of milliseconds.
+func LiveParams() core.Params {
+	return core.Params{
+		TickInterval:      2 * time.Millisecond,
+		AttachPeriod:      20 * time.Millisecond,
+		InfoClusterPeriod: 8 * time.Millisecond,
+		InfoRemotePeriod:  30 * time.Millisecond,
+		InfoGlobalPeriod:  60 * time.Millisecond,
+		GapClusterPeriod:  12 * time.Millisecond,
+		GapRemotePeriod:   40 * time.Millisecond,
+		GapGlobalPeriod:   90 * time.Millisecond,
+		AttachTimeout:     25 * time.Millisecond,
+		ParentTimeout:     120 * time.Millisecond,
+		GapFillBatch:      64,
+		AttachFillLimit:   256,
+	}
+}
+
+// Fleet is a running set of live protocol nodes.
+type Fleet struct {
+	Transport *Transport
+
+	cfg     FleetConfig
+	sources []core.HostID
+	nodes   map[core.HostID]*node
+	rec     *recorder
+	started time.Time
+	stopOne sync.Once
+}
+
+// node owns one host: a single goroutine serializes every interaction
+// with the per-stream protocol instances, per their single-threaded
+// contract.
+type node struct {
+	bus   *multi.Bus
+	inbox chan inbound
+	cmds  chan func(now time.Duration)
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// StartFleet constructs and starts all nodes.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("live: no hosts")
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = LiveParams()
+	}
+	sources := []core.HostID{cfg.Source}
+	for _, s := range cfg.Sources {
+		if s != cfg.Source {
+			sources = append(sources, s)
+		}
+	}
+	f := &Fleet{
+		Transport: NewTransport(cfg.Hosts, cfg.Seed),
+		cfg:       cfg,
+		sources:   sources,
+		nodes:     make(map[core.HostID]*node, len(cfg.Hosts)),
+		rec:       newRecorder(),
+		started:   time.Now(),
+	}
+	if cfg.Clusters != nil {
+		f.Transport.SetClusters(cfg.Clusters)
+	}
+	for _, id := range cfg.Hosts {
+		id := id
+		env := &nodeEnv{fleet: f, id: id}
+		bus, err := multi.NewBus(multi.Config{
+			ID:      id,
+			Peers:   cfg.Hosts,
+			Sources: sources,
+			Params:  cfg.Params,
+		}, env)
+		if err != nil {
+			f.Stop()
+			return nil, err
+		}
+		inbox, err := f.Transport.inbox(id)
+		if err != nil {
+			f.Stop()
+			return nil, err
+		}
+		n := &node{
+			bus:   bus,
+			inbox: inbox,
+			cmds:  make(chan func(time.Duration), 16),
+			stop:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		f.nodes[id] = n
+	}
+	for _, n := range f.nodes {
+		go f.runNode(n)
+	}
+	return f, nil
+}
+
+// now returns time since fleet start — the virtual "now" hosts see.
+func (f *Fleet) now() time.Duration { return time.Since(f.started) }
+
+// runNode is the per-host event loop: ticks, inbound frames, and
+// externally injected commands all execute on this goroutine.
+func (f *Fleet) runNode(n *node) {
+	defer close(n.done)
+	ticker := time.NewTicker(f.cfg.Params.TickInterval)
+	defer ticker.Stop()
+	n.bus.Start(f.now())
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.bus.Tick(f.now())
+		case in := <-n.inbox:
+			stream, frame, err := decodeEnvelope(in.data)
+			if err != nil {
+				f.Transport.mu.Lock()
+				f.Transport.decodeErrors++
+				f.Transport.mu.Unlock()
+				continue
+			}
+			n.bus.HandleMessage(f.now(), frame.From, in.costBit, stream, frame.Message)
+		case cmd := <-n.cmds:
+			cmd(f.now())
+		}
+	}
+}
+
+// nodeEnv adapts the transport and recorder to multi.Env. Its methods
+// are only invoked from the owning node's goroutine.
+type nodeEnv struct {
+	fleet *Fleet
+	id    core.HostID
+}
+
+func (e *nodeEnv) Send(to core.HostID, stream core.HostID, m core.Message) {
+	e.fleet.Transport.Send(e.id, to, stream, m)
+}
+
+func (e *nodeEnv) Deliver(stream core.HostID, seq seqset.Seq, payload []byte) {
+	e.fleet.rec.record(e.id, stream, seq)
+	if e.fleet.cfg.OnDeliver != nil {
+		e.fleet.cfg.OnDeliver(e.id, stream, seq, payload)
+	}
+}
+
+// Broadcast injects the next data message on the primary source's stream
+// and returns once that node's goroutine has processed it.
+func (f *Fleet) Broadcast(payload []byte) (seqset.Seq, error) {
+	return f.BroadcastFrom(f.cfg.Source, payload)
+}
+
+// BroadcastFrom injects the next data message on the given source's
+// stream.
+func (f *Fleet) BroadcastFrom(source core.HostID, payload []byte) (seqset.Seq, error) {
+	n, ok := f.nodes[source]
+	if !ok {
+		return 0, fmt.Errorf("live: host %d not running", source)
+	}
+	type outcome struct {
+		seq seqset.Seq
+		err error
+	}
+	result := make(chan outcome, 1)
+	select {
+	case n.cmds <- func(now time.Duration) {
+		seq, err := n.bus.Broadcast(now, payload)
+		result <- outcome{seq: seq, err: err}
+	}:
+	case <-n.stop:
+		return 0, fmt.Errorf("live: fleet stopped")
+	}
+	select {
+	case out := <-result:
+		return out.seq, out.err
+	case <-n.stop:
+		return 0, fmt.Errorf("live: fleet stopped")
+	}
+}
+
+// Inspect runs fn on the host's goroutine against the primary stream's
+// protocol instance and waits for it — the only safe way to read a live
+// host's state.
+func (f *Fleet) Inspect(id core.HostID, fn func(h *core.Host)) error {
+	return f.InspectStream(id, f.cfg.Source, fn)
+}
+
+// InspectStream runs fn against one stream's instance at one host.
+func (f *Fleet) InspectStream(id core.HostID, stream core.HostID, fn func(h *core.Host)) error {
+	n, ok := f.nodes[id]
+	if !ok {
+		return fmt.Errorf("live: unknown host %d", id)
+	}
+	done := make(chan error, 1)
+	select {
+	case n.cmds <- func(time.Duration) {
+		h := n.bus.Instance(stream)
+		if h == nil {
+			done <- fmt.Errorf("live: unknown stream %d", stream)
+			return
+		}
+		fn(h)
+		done <- nil
+	}:
+	case <-n.stop:
+		return fmt.Errorf("live: fleet stopped")
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-n.stop:
+		return fmt.Errorf("live: fleet stopped")
+	}
+}
+
+// DeliveredAll reports whether every host has delivered 1..n on the
+// primary stream.
+func (f *Fleet) DeliveredAll(n seqset.Seq) bool {
+	return f.rec.deliveredAll(f.cfg.Hosts, f.cfg.Source, n)
+}
+
+// WaitDelivered blocks until every host has delivered 1..n on the
+// primary stream or the timeout elapses.
+func (f *Fleet) WaitDelivered(n seqset.Seq, timeout time.Duration) bool {
+	return f.WaitStreamDelivered(f.cfg.Source, n, timeout)
+}
+
+// WaitStreamDelivered blocks until every host has delivered 1..n on the
+// given stream or the timeout elapses.
+func (f *Fleet) WaitStreamDelivered(stream core.HostID, n seqset.Seq, timeout time.Duration) bool {
+	return f.rec.wait(func() bool {
+		return f.rec.deliveredAllLocked(f.cfg.Hosts, stream, n)
+	}, timeout)
+}
+
+// WaitHostDelivered blocks until the given host has delivered 1..n on
+// the primary stream or the timeout elapses.
+func (f *Fleet) WaitHostDelivered(h core.HostID, n seqset.Seq, timeout time.Duration) bool {
+	return f.rec.wait(func() bool {
+		return f.rec.hostHasAllLocked(h, f.cfg.Source, n)
+	}, timeout)
+}
+
+// Delivered returns the sequence numbers host h has delivered on the
+// primary stream.
+func (f *Fleet) Delivered(h core.HostID) seqset.Set {
+	return f.rec.snapshot(h, f.cfg.Source)
+}
+
+// DeliveredOn returns the sequence numbers host h has delivered on the
+// given stream.
+func (f *Fleet) DeliveredOn(h core.HostID, stream core.HostID) seqset.Set {
+	return f.rec.snapshot(h, stream)
+}
+
+// DuplicateDeliveries counts repeated Deliver calls for one
+// (host, stream, seq); the protocol guarantees zero.
+func (f *Fleet) DuplicateDeliveries() int { return f.rec.duplicates() }
+
+// Stop terminates all nodes and waits for their goroutines.
+func (f *Fleet) Stop() {
+	f.stopOne.Do(func() {
+		f.Transport.stop()
+		for _, n := range f.nodes {
+			close(n.stop)
+		}
+		for _, n := range f.nodes {
+			<-n.done
+		}
+	})
+}
+
+type hostStream struct {
+	host   core.HostID
+	stream core.HostID
+}
+
+// recorder tracks deliveries with a condition variable so tests can wait
+// without polling loops.
+type recorder struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	got  map[hostStream]*seqset.Set
+	dups int
+}
+
+func newRecorder() *recorder {
+	r := &recorder{got: make(map[hostStream]*seqset.Set)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *recorder) record(h core.HostID, stream core.HostID, q seqset.Seq) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := hostStream{host: h, stream: stream}
+	s, ok := r.got[key]
+	if !ok {
+		s = &seqset.Set{}
+		r.got[key] = s
+	}
+	if !s.Add(q) {
+		r.dups++
+	}
+	r.cond.Broadcast()
+}
+
+func (r *recorder) snapshot(h core.HostID, stream core.HostID) seqset.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.got[hostStream{host: h, stream: stream}]; ok {
+		return s.Clone()
+	}
+	return seqset.Set{}
+}
+
+func (r *recorder) duplicates() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dups
+}
+
+func (r *recorder) hostHasAllLocked(h core.HostID, stream core.HostID, n seqset.Seq) bool {
+	s, ok := r.got[hostStream{host: h, stream: stream}]
+	if !ok {
+		return n == 0
+	}
+	return s.Len() >= int(n) && s.Max() == n && s.GapCount() == 0
+}
+
+func (r *recorder) deliveredAll(hosts []core.HostID, stream core.HostID, n seqset.Seq) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deliveredAllLocked(hosts, stream, n)
+}
+
+func (r *recorder) deliveredAllLocked(hosts []core.HostID, stream core.HostID, n seqset.Seq) bool {
+	for _, h := range hosts {
+		if !r.hostHasAllLocked(h, stream, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// wait blocks on the condition variable until pred holds or timeout.
+// pred runs with the recorder's lock held.
+func (r *recorder) wait(pred func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	// A waker nudges the cond periodically so timeouts are honored even
+	// with no deliveries arriving.
+	stopWaker := make(chan struct{})
+	defer close(stopWaker)
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopWaker:
+				return
+			case <-ticker.C:
+				r.cond.Broadcast()
+			}
+		}
+	}()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if pred() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		r.cond.Wait()
+	}
+}

@@ -1,0 +1,79 @@
+package live_test
+
+import (
+	"testing"
+
+	"rbcast/internal/core"
+	"rbcast/internal/live"
+	"rbcast/internal/seqset"
+)
+
+func TestLiveMultiSource(t *testing.T) {
+	// Three sources broadcast concurrently; per the paper's §2, each
+	// stream is an independent single-source protocol and all must
+	// complete.
+	f := startFleet(t, live.FleetConfig{
+		Hosts:    []core.HostID{1, 2, 3, 4, 5, 6},
+		Source:   1,
+		Sources:  []core.HostID{3, 5},
+		Clusters: [][]core.HostID{{1, 2, 3}, {4, 5, 6}},
+		Seed:     21,
+	})
+	const per = 6
+	for i := 0; i < per; i++ {
+		for _, src := range []core.HostID{1, 3, 5} {
+			if _, err := f.BroadcastFrom(src, []byte{byte(src)}); err != nil {
+				t.Fatalf("BroadcastFrom(%d): %v", src, err)
+			}
+		}
+	}
+	for _, src := range []core.HostID{1, 3, 5} {
+		if !f.WaitStreamDelivered(src, per, waitBudget) {
+			t.Errorf("stream %d incomplete; host 2 has %v", src, f.DeliveredOn(2, src))
+		}
+	}
+	if d := f.DuplicateDeliveries(); d != 0 {
+		t.Errorf("duplicate deliveries = %d", d)
+	}
+	// Streams are isolated: host 6 never delivers anything attributed to
+	// a stream it shouldn't know.
+	if got := f.DeliveredOn(6, 1); got.Max() != per {
+		t.Errorf("host 6 stream 1 = %v, want 1..%d", got, per)
+	}
+}
+
+func TestLiveBroadcastFromNonSourceFails(t *testing.T) {
+	f := startFleet(t, live.FleetConfig{
+		Hosts:  []core.HostID{1, 2},
+		Source: 1,
+		Seed:   22,
+	})
+	if _, err := f.BroadcastFrom(2, []byte("x")); err == nil {
+		t.Error("BroadcastFrom(non-source) succeeded")
+	}
+}
+
+func TestLiveMultiSourceSequencesIndependent(t *testing.T) {
+	f := startFleet(t, live.FleetConfig{
+		Hosts:   []core.HostID{1, 2, 3},
+		Source:  1,
+		Sources: []core.HostID{2},
+		Seed:    23,
+	})
+	s1, err := f.BroadcastFrom(1, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.BroadcastFrom(2, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stream numbers from 1 independently.
+	if s1 != 1 || s2 != 1 {
+		t.Errorf("first seqs = %d, %d; want 1, 1 (independent numbering)", s1, s2)
+	}
+	if !f.WaitStreamDelivered(1, seqset.Seq(1), waitBudget) ||
+		!f.WaitStreamDelivered(2, seqset.Seq(1), waitBudget) {
+		t.Fatal("streams incomplete")
+	}
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbcast/internal/sim"
+)
+
+// Property: on a static topology, a delivered message carries the cost
+// bit exactly when its endpoints are NOT connected by cheap links alone.
+// (Routing weights make any all-cheap path beat any path with an
+// expensive link, so this is the simulator's contract with the paper's
+// cluster model.)
+func TestCostBitMatchesCheapConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			eng := sim.NewEngine(seed)
+			n := New(eng)
+
+			nServers := 4 + rng.Intn(8)
+			servers := make([]ServerID, nServers)
+			for i := range servers {
+				servers[i] = n.AddServer()
+			}
+			randClass := func() LinkClass {
+				if rng.Intn(2) == 0 {
+					return Cheap
+				}
+				return Expensive
+			}
+			// A chain guarantees global connectivity; extra random links
+			// add diversity.
+			type edge struct {
+				a, b  ServerID
+				class LinkClass
+			}
+			var edges []edge
+			addLink := func(a, b ServerID) {
+				class := randClass()
+				if _, err := n.AddLink(a, b, LinkConfig{Class: class, Jitter: 0}); err != nil {
+					t.Fatal(err)
+				}
+				edges = append(edges, edge{a: a, b: b, class: class})
+			}
+			for i := 0; i+1 < nServers; i++ {
+				addLink(servers[i], servers[i+1])
+			}
+			for extra := 0; extra < nServers/2; extra++ {
+				a, b := rng.Intn(nServers), rng.Intn(nServers)
+				if a != b {
+					addLink(servers[a], servers[b])
+				}
+			}
+			// A host on every server.
+			for i, s := range servers {
+				if err := n.AttachHost(HostID(i+1), s, LinkConfig{Jitter: 0}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Ground truth: union-find over cheap links only.
+			parent := make(map[ServerID]ServerID)
+			for _, s := range servers {
+				parent[s] = s
+			}
+			var find func(ServerID) ServerID
+			find = func(s ServerID) ServerID {
+				for parent[s] != s {
+					parent[s] = parent[parent[s]]
+					s = parent[s]
+				}
+				return s
+			}
+			for _, e := range edges {
+				if e.class == Cheap {
+					parent[find(e.a)] = find(e.b)
+				}
+			}
+
+			type obs struct {
+				costBit bool
+			}
+			got := map[[2]HostID]obs{}
+			for _, h := range n.Hosts() {
+				h := h
+				if err := n.Handle(h, func(_ time.Duration, env Envelope) {
+					got[[2]HostID{env.From, h}] = obs{costBit: env.CostBit}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, a := range n.Hosts() {
+				for _, b := range n.Hosts() {
+					if a != b {
+						if err := n.Send(a, b, "probe"); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if err := eng.RunUntilIdle(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, a := range n.Hosts() {
+				for _, b := range n.Hosts() {
+					if a == b {
+						continue
+					}
+					o, delivered := got[[2]HostID{a, b}]
+					if !delivered {
+						t.Fatalf("message %d→%d not delivered on lossless net", a, b)
+					}
+					sa, sb := servers[a-1], servers[b-1]
+					cheaplyConnected := find(sa) == find(sb)
+					if o.costBit == cheaplyConnected {
+						t.Errorf("%d→%d: costBit=%v but cheaplyConnected=%v",
+							a, b, o.costBit, cheaplyConnected)
+					}
+				}
+			}
+		})
+	}
+}

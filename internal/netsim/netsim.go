@@ -1,0 +1,458 @@
+// Package netsim simulates an ARPA-like point-to-point communication
+// subnetwork with nonprogrammable servers.
+//
+// The simulated network consists of servers (switches) joined by
+// bidirectional links and hosts attached to servers via host links. The
+// only service offered to hosts is single-destination message delivery —
+// there is no multicast, exactly as the paper assumes. Servers route
+// hop by hop using adaptive shortest-path routing recomputed whenever
+// topology changes (standing in for the ARPANET SPF routing the paper's
+// transitivity assumption relies on).
+//
+// Links are cheap (high bandwidth, LAN-like) or expensive (low bandwidth,
+// long haul). A message that traverses at least one expensive link is
+// delivered with its cost bit set — the single piece of dynamic
+// information the paper grants hosts. Links fail and recover silently;
+// messages can be lost, duplicated, and reordered (via delay jitter), and
+// none of this is reported to hosts.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rbcast/internal/sim"
+)
+
+// HostID identifies a participating host. Valid IDs are positive; 0 is
+// the nil host.
+type HostID int
+
+// Nil is the zero HostID, used as "no host" (e.g. a nil parent pointer).
+const Nil HostID = 0
+
+// ServerID identifies a communication server. Valid IDs are positive.
+type ServerID int
+
+// LinkID identifies a server-to-server link.
+type LinkID int
+
+// LinkClass classifies link bandwidth per the paper: cheap links are
+// LAN-like and expensive links are long-haul.
+type LinkClass int
+
+const (
+	// Cheap is a high-bandwidth (intra-cluster) link.
+	Cheap LinkClass = iota + 1
+	// Expensive is a low-bandwidth (inter-cluster) link.
+	Expensive
+)
+
+// String implements fmt.Stringer.
+func (c LinkClass) String() string {
+	switch c {
+	case Cheap:
+		return "cheap"
+	case Expensive:
+		return "expensive"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(c))
+	}
+}
+
+// routing weights: shortest-path routing strongly prefers cheap links, so
+// intra-cluster traffic stays on cheap paths whenever one exists.
+const (
+	weightCheap     = 1
+	weightExpensive = 1000
+)
+
+// LinkConfig describes a link's behaviour.
+type LinkConfig struct {
+	// Class is Cheap or Expensive. The zero value defaults to Cheap.
+	Class LinkClass
+	// Delay is the base per-traversal latency. Defaults to 1ms for cheap
+	// and 30ms for expensive links when zero.
+	Delay time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each traversal,
+	// producing reordering. Defaults to Delay/2 when negative; zero means
+	// no jitter.
+	Jitter time.Duration
+	// LossProb is the probability a traversal silently drops the message.
+	LossProb float64
+	// DupProb is the probability a traversal delivers a second copy.
+	DupProb float64
+}
+
+func (c LinkConfig) withDefaults() (LinkConfig, error) {
+	if c.Class == 0 {
+		c.Class = Cheap
+	}
+	if c.Class != Cheap && c.Class != Expensive {
+		return c, fmt.Errorf("netsim: invalid link class %d", c.Class)
+	}
+	if c.Delay == 0 {
+		if c.Class == Cheap {
+			c.Delay = time.Millisecond
+		} else {
+			c.Delay = 30 * time.Millisecond
+		}
+	}
+	if c.Delay < 0 {
+		return c, fmt.Errorf("netsim: negative delay %v", c.Delay)
+	}
+	if c.Jitter < 0 {
+		c.Jitter = c.Delay / 2
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return c, fmt.Errorf("netsim: loss probability %v out of range", c.LossProb)
+	}
+	if c.DupProb < 0 || c.DupProb > 1 {
+		return c, fmt.Errorf("netsim: duplication probability %v out of range", c.DupProb)
+	}
+	return c, nil
+}
+
+type link struct {
+	id   LinkID
+	a, b ServerID
+	cfg  LinkConfig
+	up   bool
+}
+
+func (l *link) weight() int {
+	if l.cfg.Class == Expensive {
+		return weightExpensive
+	}
+	return weightCheap
+}
+
+func (l *link) other(s ServerID) ServerID {
+	if s == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+type server struct {
+	id    ServerID
+	links []*link // attached links, in creation order
+}
+
+type hostPort struct {
+	id      HostID
+	server  ServerID
+	cfg     LinkConfig
+	up      bool
+	handler Handler
+}
+
+// Envelope is a host-to-host message in flight or as delivered.
+type Envelope struct {
+	// From and To are the endpoint hosts.
+	From, To HostID
+	// CostBit reports whether the message traversed an expensive link,
+	// per the paper's cost-bit service.
+	CostBit bool
+	// Payload is the opaque host-level message.
+	Payload any
+	// SentAt is the virtual time the source host handed the message to
+	// its server.
+	SentAt time.Duration
+	// Hops counts link traversals so far (including host links).
+	Hops int
+}
+
+// Handler receives messages delivered to a host.
+type Handler func(now time.Duration, env Envelope)
+
+// Stats aggregates network-level counters for a run.
+type Stats struct {
+	// HostSends counts host-level Send calls.
+	HostSends uint64
+	// Delivered counts messages handed to destination hosts.
+	Delivered uint64
+	// LinkTransmissions counts traversals per link class (including host
+	// links, which are classed by their config).
+	LinkTransmissions map[LinkClass]uint64
+	// PerLink counts traversals of each server-to-server link.
+	PerLink map[LinkID]uint64
+	// HostLinkTransmissions counts traversals of each host's access link,
+	// in either direction. The paper's source-congestion argument is
+	// about exactly this counter at the source.
+	HostLinkTransmissions map[HostID]uint64
+	// InterClusterSends counts host-level sends whose endpoints were in
+	// different true clusters at send time — the paper's §5 cost metric.
+	InterClusterSends uint64
+	// Lost counts messages dropped by link loss probability.
+	Lost uint64
+	// Duplicated counts extra copies injected by duplication.
+	Duplicated uint64
+	// DroppedLinkDown counts messages dropped because a link on their
+	// path was down at traversal time.
+	DroppedLinkDown uint64
+	// DroppedNoRoute counts messages dropped because no up path existed.
+	DroppedNoRoute uint64
+}
+
+func newStats() *Stats {
+	return &Stats{
+		LinkTransmissions:     make(map[LinkClass]uint64),
+		PerLink:               make(map[LinkID]uint64),
+		HostLinkTransmissions: make(map[HostID]uint64),
+	}
+}
+
+// Network is the simulated communication subnetwork. It is driven by a
+// sim.Engine and is not safe for concurrent use (the engine is
+// single-threaded by design).
+type Network struct {
+	eng     *sim.Engine
+	servers map[ServerID]*server
+	links   map[LinkID]*link
+	hosts   map[HostID]*hostPort
+
+	nextServer ServerID
+	nextLink   LinkID
+
+	// version increments on every topology change; routing tables and the
+	// true-cluster map are cached per version.
+	version     uint64
+	routeCache  map[ServerID]map[ServerID]ServerID
+	routeVer    uint64
+	clusterMemo map[HostID]int
+	clusterVer  uint64
+
+	stats *Stats
+
+	// OnSend, if set, observes every host-level Send after it is
+	// classified (for metrics/tracing).
+	OnSend func(env Envelope, interCluster bool)
+	// OnLinkTransmit, if set, observes every server-to-server link
+	// traversal (after loss is decided, before delay).
+	OnLinkTransmit func(link LinkID, class LinkClass, env Envelope)
+	// OnHostLinkTransmit, if set, observes every host access-link
+	// traversal (in either direction).
+	OnHostLinkTransmit func(h HostID, env Envelope)
+}
+
+// New returns an empty network driven by eng.
+func New(eng *sim.Engine) *Network {
+	if eng == nil {
+		panic("netsim: nil engine")
+	}
+	return &Network{
+		eng:     eng,
+		servers: make(map[ServerID]*server),
+		links:   make(map[LinkID]*link),
+		hosts:   make(map[HostID]*hostPort),
+		version: 1,
+		stats:   newStats(),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Stats returns the live counter set. Callers must not retain it across
+// network reconstruction.
+func (n *Network) Stats() *Stats { return n.stats }
+
+// ResetStats zeroes all counters (topology is unchanged).
+func (n *Network) ResetStats() { n.stats = newStats() }
+
+// AddServer creates a new server and returns its ID.
+func (n *Network) AddServer() ServerID {
+	n.nextServer++
+	id := n.nextServer
+	n.servers[id] = &server{id: id}
+	n.bump()
+	return id
+}
+
+// Servers returns all server IDs in ascending order.
+func (n *Network) Servers() []ServerID {
+	out := make([]ServerID, 0, len(n.servers))
+	for id := range n.servers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLink joins servers a and b with a bidirectional link. The link
+// starts up.
+func (n *Network) AddLink(a, b ServerID, cfg LinkConfig) (LinkID, error) {
+	sa, ok := n.servers[a]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown server %d", a)
+	}
+	sb, ok := n.servers[b]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown server %d", b)
+	}
+	if a == b {
+		return 0, fmt.Errorf("netsim: self-link on server %d", a)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	n.nextLink++
+	l := &link{id: n.nextLink, a: a, b: b, cfg: cfg, up: true}
+	n.links[l.id] = l
+	sa.links = append(sa.links, l)
+	sb.links = append(sb.links, l)
+	n.bump()
+	return l.id, nil
+}
+
+// AttachHost connects host h to server s with the given host-link
+// behaviour. Host IDs must be unique and positive.
+func (n *Network) AttachHost(h HostID, s ServerID, cfg LinkConfig) error {
+	if h <= 0 {
+		return fmt.Errorf("netsim: invalid host id %d", h)
+	}
+	if _, dup := n.hosts[h]; dup {
+		return fmt.Errorf("netsim: host %d already attached", h)
+	}
+	if _, ok := n.servers[s]; !ok {
+		return fmt.Errorf("netsim: unknown server %d", s)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	n.hosts[h] = &hostPort{id: h, server: s, cfg: cfg, up: true}
+	n.bump()
+	return nil
+}
+
+// Hosts returns all attached host IDs in ascending order.
+func (n *Network) Hosts() []HostID {
+	out := make([]HostID, 0, len(n.hosts))
+	for id := range n.hosts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HostServer returns the server a host is attached to.
+func (n *Network) HostServer(h HostID) (ServerID, error) {
+	hp, ok := n.hosts[h]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown host %d", h)
+	}
+	return hp.server, nil
+}
+
+// Handle registers the delivery handler for host h, replacing any
+// previous handler.
+func (n *Network) Handle(h HostID, fn Handler) error {
+	hp, ok := n.hosts[h]
+	if !ok {
+		return fmt.Errorf("netsim: unknown host %d", h)
+	}
+	hp.handler = fn
+	return nil
+}
+
+// SetLinkUp changes a server link's state. Routing adapts on the next
+// forwarding decision.
+func (n *Network) SetLinkUp(id LinkID, up bool) error {
+	l, ok := n.links[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown link %d", id)
+	}
+	if l.up != up {
+		l.up = up
+		n.bump()
+	}
+	return nil
+}
+
+// LinkUp reports a link's current state.
+func (n *Network) LinkUp(id LinkID) (bool, error) {
+	l, ok := n.links[id]
+	if !ok {
+		return false, fmt.Errorf("netsim: unknown link %d", id)
+	}
+	return l.up, nil
+}
+
+// SetHostLinkUp changes a host's access-link state. Cutting it simulates
+// a host crash, per the paper's §2 argument.
+func (n *Network) SetHostLinkUp(h HostID, up bool) error {
+	hp, ok := n.hosts[h]
+	if !ok {
+		return fmt.Errorf("netsim: unknown host %d", h)
+	}
+	if hp.up != up {
+		hp.up = up
+		n.bump()
+	}
+	return nil
+}
+
+// LinksBetween returns the IDs of links with one endpoint in each server
+// set; useful for partitioning a topology.
+func (n *Network) LinksBetween(a, b []ServerID) []LinkID {
+	inA := make(map[ServerID]bool, len(a))
+	for _, s := range a {
+		inA[s] = true
+	}
+	inB := make(map[ServerID]bool, len(b))
+	for _, s := range b {
+		inB[s] = true
+	}
+	var out []LinkID
+	for _, l := range n.sortedLinks() {
+		if (inA[l.a] && inB[l.b]) || (inA[l.b] && inB[l.a]) {
+			out = append(out, l.id)
+		}
+	}
+	return out
+}
+
+// Links returns all link IDs in ascending order.
+func (n *Network) Links() []LinkID {
+	out := make([]LinkID, 0, len(n.links))
+	for id := range n.links {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LinkClassOf returns a link's class.
+func (n *Network) LinkClassOf(id LinkID) (LinkClass, error) {
+	l, ok := n.links[id]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown link %d", id)
+	}
+	return l.cfg.Class, nil
+}
+
+// LinkEnds returns a link's endpoint servers.
+func (n *Network) LinkEnds(id LinkID) (ServerID, ServerID, error) {
+	l, ok := n.links[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: unknown link %d", id)
+	}
+	return l.a, l.b, nil
+}
+
+func (n *Network) bump() {
+	n.version++
+}
+
+func (n *Network) sortedLinks() []*link {
+	out := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

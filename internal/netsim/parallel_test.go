@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/sim"
+)
+
+// Regression test: when two parallel links of different classes join the
+// same pair of servers (a cheap path repaired next to an old expensive
+// link), forwarding must use the cheap one — otherwise messages carry a
+// spurious cost bit and protocol hosts never merge their cluster views.
+func TestParallelLinksPreferCheap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	s1, s2 := n.AddServer(), n.AddServer()
+	expLink, err := n.AddLink(s1, s2, LinkConfig{Class: Expensive, Jitter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost(1, s1, LinkConfig{Jitter: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost(2, s2, LinkConfig{Jitter: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Envelope
+	if err := n.Handle(2, func(_ time.Duration, env Envelope) { got = append(got, env) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the expensive link exists: the cost bit must be set.
+	if err := n.Send(1, 2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].CostBit {
+		t.Fatalf("expected one expensive delivery, got %+v", got)
+	}
+
+	// A cheap parallel link appears (higher link ID). Both routing and
+	// forwarding must now prefer it.
+	cheapLink, err := n.AddLink(s1, s2, LinkConfig{Class: Cheap, Jitter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, 2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("second message not delivered")
+	}
+	if got[1].CostBit {
+		t.Error("message crossed the expensive parallel link despite a cheap one existing")
+	}
+	if n.Stats().PerLink[cheapLink] == 0 {
+		t.Error("cheap parallel link unused")
+	}
+
+	// Cheap link fails: traffic falls back to the expensive one.
+	if err := n.SetLinkUp(cheapLink, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, 2, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[2].CostBit {
+		t.Fatalf("fallback to expensive link failed: %+v", got)
+	}
+	if n.Stats().PerLink[expLink] != 2 {
+		t.Errorf("expensive link used %d times, want 2", n.Stats().PerLink[expLink])
+	}
+}

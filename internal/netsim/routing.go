@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Adaptive shortest-path routing. Each server forwards hop by hop using
+// the current topology: routes are recomputed lazily whenever the
+// topology version changes, which models the ARPANET-style adaptive
+// routing the paper's communication-transitivity assumption rests on.
+// Cheap links weigh 1, expensive links weigh 1000, so routing crosses an
+// expensive link only when no cheap path exists — matching the paper's
+// cluster model, where intra-cluster communication is cheap.
+
+type spItem struct {
+	server ServerID
+	dist   int
+}
+
+type spQueue []spItem
+
+func (q spQueue) Len() int { return len(q) }
+func (q spQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].server < q[j].server // deterministic tie-break
+}
+func (q spQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *spQueue) Push(x any)   { *q = append(*q, x.(spItem)) }
+func (q *spQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// routesFrom returns the next-hop table from src over currently-up links:
+// routes[dst] is the neighbour to forward to. Absent entries mean
+// unreachable. Tables are cached per topology version.
+func (n *Network) routesFrom(src ServerID) map[ServerID]ServerID {
+	if n.routeVer != n.version {
+		n.routeCache = make(map[ServerID]map[ServerID]ServerID)
+		n.routeVer = n.version
+	}
+	if t, ok := n.routeCache[src]; ok {
+		return t
+	}
+	t := n.dijkstra(src)
+	n.routeCache[src] = t
+	return t
+}
+
+func (n *Network) dijkstra(src ServerID) map[ServerID]ServerID {
+	dist := map[ServerID]int{src: 0}
+	// firstHop[s] is the neighbour of src on the chosen shortest path to s.
+	firstHop := make(map[ServerID]ServerID)
+	done := make(map[ServerID]bool)
+	q := &spQueue{{server: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(spItem)
+		if done[it.server] {
+			continue
+		}
+		done[it.server] = true
+		cur := n.servers[it.server]
+		// Deterministic neighbour order: links sorted by ID.
+		links := make([]*link, len(cur.links))
+		copy(links, cur.links)
+		sort.Slice(links, func(i, j int) bool { return links[i].id < links[j].id })
+		for _, l := range links {
+			if !l.up {
+				continue
+			}
+			nb := l.other(it.server)
+			nd := it.dist + l.weight()
+			if d, seen := dist[nb]; !seen || nd < d {
+				dist[nb] = nd
+				if it.server == src {
+					firstHop[nb] = nb
+				} else {
+					firstHop[nb] = firstHop[it.server]
+				}
+				heap.Push(q, spItem{server: nb, dist: nd})
+			}
+		}
+	}
+	return firstHop
+}
+
+// PathExists reports whether a route currently exists between the servers
+// of two hosts (and both host links are up).
+func (n *Network) PathExists(a, b HostID) bool {
+	ha, ok := n.hosts[a]
+	if !ok || !ha.up {
+		return false
+	}
+	hb, ok := n.hosts[b]
+	if !ok || !hb.up {
+		return false
+	}
+	if ha.server == hb.server {
+		return true
+	}
+	_, ok = n.routesFrom(ha.server)[hb.server]
+	return ok
+}
+
+// TrueClusters returns the ground-truth clustering of hosts: connected
+// components of the up-cheap-link server graph, restricted to hosts whose
+// (cheap) access link is up. Hosts with a down or expensive access link,
+// or unreachable cheaply, form singleton clusters. Cluster IDs are
+// arbitrary but stable for a given topology version. This is simulator
+// ground truth used for generation and metrics only — protocol hosts
+// never see it.
+func (n *Network) TrueClusters() map[HostID]int {
+	if n.clusterVer == n.version && n.clusterMemo != nil {
+		return n.clusterMemo
+	}
+	// Union-find over servers via up cheap links.
+	parent := make(map[ServerID]ServerID, len(n.servers))
+	var find func(ServerID) ServerID
+	find = func(s ServerID) ServerID {
+		for parent[s] != s {
+			parent[s] = parent[parent[s]]
+			s = parent[s]
+		}
+		return s
+	}
+	for id := range n.servers {
+		parent[id] = id
+	}
+	for _, l := range n.sortedLinks() {
+		if l.up && l.cfg.Class == Cheap {
+			ra, rb := find(l.a), find(l.b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	// Assign dense cluster numbers by ascending root server ID.
+	rootNum := make(map[ServerID]int)
+	next := 1
+	clusters := make(map[HostID]int, len(n.hosts))
+	singles := next + len(n.servers) // singleton IDs start above component IDs
+	for _, h := range n.Hosts() {
+		hp := n.hosts[h]
+		if !hp.up || hp.cfg.Class != Cheap {
+			clusters[h] = singles
+			singles++
+			continue
+		}
+		root := find(hp.server)
+		num, ok := rootNum[root]
+		if !ok {
+			num = next
+			next++
+			rootNum[root] = num
+		}
+		clusters[h] = num
+	}
+	n.clusterMemo = clusters
+	n.clusterVer = n.version
+	return clusters
+}
+
+// ClusterCount returns the number of distinct true clusters that contain
+// at least one host.
+func (n *Network) ClusterCount() int {
+	seen := make(map[int]bool)
+	for _, c := range n.TrueClusters() {
+		seen[c] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Send hands a message from host `from` to its server for delivery to
+// host `to`. This is the only communication service hosts get: a single
+// destination per call, exactly as the paper's nonprogrammable-server
+// model dictates. Delivery is best-effort: the message can be lost,
+// duplicated, reordered, or silently dropped by link failures, and no
+// failure is ever reported to the sender.
+func (n *Network) Send(from, to HostID, payload any) error {
+	src, ok := n.hosts[from]
+	if !ok {
+		return fmt.Errorf("netsim: unknown sender host %d", from)
+	}
+	if _, ok := n.hosts[to]; !ok {
+		return fmt.Errorf("netsim: unknown destination host %d", to)
+	}
+	if from == to {
+		return fmt.Errorf("netsim: host %d sending to itself", from)
+	}
+	env := Envelope{From: from, To: to, Payload: payload, SentAt: n.eng.Now()}
+	n.stats.HostSends++
+	inter := false
+	clusters := n.TrueClusters()
+	if clusters[from] != clusters[to] {
+		inter = true
+		n.stats.InterClusterSends++
+	}
+	if n.OnSend != nil {
+		n.OnSend(env, inter)
+	}
+	// First hop: the sender's access link up to its server.
+	n.traverseHostLink(src, env, func(env Envelope) {
+		n.arriveAtServer(src.server, env)
+	})
+	return nil
+}
+
+// traverseHostLink models one traversal of a host access link (in either
+// direction), applying its delay, loss, and duplication, then invoking
+// next with the (possibly cost-marked) envelope.
+func (n *Network) traverseHostLink(hp *hostPort, env Envelope, next func(Envelope)) {
+	if !hp.up {
+		n.stats.DroppedLinkDown++
+		return
+	}
+	n.stats.LinkTransmissions[hp.cfg.Class]++
+	n.stats.HostLinkTransmissions[hp.id]++
+	if n.OnHostLinkTransmit != nil {
+		n.OnHostLinkTransmit(hp.id, env)
+	}
+	if hp.cfg.Class == Expensive {
+		env.CostBit = true
+	}
+	env.Hops++
+	n.deliverAcross(hp.cfg, env, next)
+}
+
+// arriveAtServer is the per-hop forwarding decision: the server consults
+// its current routing table (adaptive: recomputed on topology change) and
+// forwards toward the destination's server, or up the destination's host
+// link if it is local.
+func (n *Network) arriveAtServer(at ServerID, env Envelope) {
+	// Adaptive routing can loop transiently while tables converge after a
+	// failure; a hop budget bounds such messages' lifetime, and the drop
+	// is silent, as all drops are in this model.
+	if env.Hops > 4+2*len(n.servers) {
+		n.stats.DroppedNoRoute++
+		return
+	}
+	dst := n.hosts[env.To]
+	if at == dst.server {
+		n.traverseHostLink(dst, env, func(env Envelope) {
+			n.stats.Delivered++
+			if dst.handler != nil {
+				dst.handler(n.eng.Now(), env)
+			}
+		})
+		return
+	}
+	nextHop, ok := n.routesFrom(at)[dst.server]
+	if !ok {
+		n.stats.DroppedNoRoute++
+		return
+	}
+	l := n.upLinkBetween(at, nextHop)
+	if l == nil {
+		// Routing table says nextHop but the link vanished between the
+		// route computation and this traversal; with lazy per-version
+		// recomputation this cannot normally happen, but guard anyway.
+		n.stats.DroppedLinkDown++
+		return
+	}
+	n.stats.LinkTransmissions[l.cfg.Class]++
+	n.stats.PerLink[l.id]++
+	if n.OnLinkTransmit != nil {
+		n.OnLinkTransmit(l.id, l.cfg.Class, env)
+	}
+	if l.cfg.Class == Expensive {
+		env.CostBit = true
+	}
+	env.Hops++
+	n.deliverAcross(l.cfg, env, func(env Envelope) {
+		n.arriveAtServer(nextHop, env)
+	})
+}
+
+// upLinkBetween returns the best up link joining two servers (cheapest
+// first — parallel links can differ in class after a repair adds a cheap
+// path next to an old expensive one — then lowest ID), or nil.
+func (n *Network) upLinkBetween(a, b ServerID) *link {
+	var best *link
+	for _, l := range n.servers[a].links {
+		if !l.up || l.other(a) != b {
+			continue
+		}
+		if best == nil || l.weight() < best.weight() ||
+			(l.weight() == best.weight() && l.id < best.id) {
+			best = l
+		}
+	}
+	return best
+}
+
+// deliverAcross applies a link's loss, duplication, and delay+jitter,
+// scheduling next for each surviving copy.
+func (n *Network) deliverAcross(cfg LinkConfig, env Envelope, next func(Envelope)) {
+	rng := n.eng.Rand()
+	if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+		n.stats.Lost++
+		return
+	}
+	copies := 1
+	if cfg.DupProb > 0 && rng.Float64() < cfg.DupProb {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		d := cfg.Delay
+		if cfg.Jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(cfg.Jitter)))
+		}
+		env := env
+		n.eng.Schedule(d, func() { next(env) })
+	}
+}

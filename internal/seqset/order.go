@@ -1,0 +1,15 @@
+package seqset
+
+// The paper defines a partial order on INFO sets by their maxima:
+// A < B iff max(A) < max(B), and A ≃ B iff max(A) = max(B). The empty
+// set's maximum is taken as 0, so the empty set is Less than any
+// non-empty set and Similar to another empty set.
+
+// Less reports A < B in the paper's ordering.
+func Less(a, b Set) bool { return a.Max() < b.Max() }
+
+// Similar reports A ≃ B in the paper's ordering.
+func Similar(a, b Set) bool { return a.Max() == b.Max() }
+
+// LessOrSimilar reports A < B or A ≃ B.
+func LessOrSimilar(a, b Set) bool { return a.Max() <= b.Max() }

@@ -1,0 +1,319 @@
+// Package seqset implements sets of message sequence numbers as sorted,
+// non-overlapping, non-adjacent intervals.
+//
+// The paper's protocol keeps, at every host i, the set INFO_i of sequence
+// numbers received so far, plus a MAP of every other host's INFO set.
+// Broadcast streams are long and mostly contiguous, so an interval coding
+// keeps these sets tiny (one interval in the common case) while still
+// representing arbitrary gaps.
+//
+// The package also implements the paper's ordering on INFO sets:
+// A < B iff max(A) < max(B), and A ≃ B iff max(A) = max(B), where the
+// maximum of the empty set is taken as 0 (sequence numbers start at 1).
+package seqset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Seq is a broadcast message sequence number. Valid data messages are
+// numbered starting at 1; 0 is never a member of a set.
+type Seq uint64
+
+// Interval is an inclusive range [Lo, Hi] of sequence numbers.
+type Interval struct {
+	Lo, Hi Seq
+}
+
+// Set is a set of sequence numbers. The zero value is the empty set and
+// is ready to use. Sets are value types with respect to Clone; the
+// mutating methods modify the receiver in place.
+type Set struct {
+	// runs is sorted by Lo; runs never overlap and are never adjacent
+	// (runs[k].Hi+1 < runs[k+1].Lo).
+	runs []Interval
+}
+
+// FromRange returns the set {lo, lo+1, ..., hi}. It panics if lo is 0 or
+// lo > hi.
+func FromRange(lo, hi Seq) Set {
+	if lo == 0 || lo > hi {
+		panic(fmt.Sprintf("seqset: invalid range [%d,%d]", lo, hi))
+	}
+	return Set{runs: []Interval{{Lo: lo, Hi: hi}}}
+}
+
+// FromSlice returns a set containing exactly the given sequence numbers.
+// Zero values are ignored.
+func FromSlice(seqs []Seq) Set {
+	var s Set
+	for _, q := range seqs {
+		if q != 0 {
+			s.Add(q)
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of s.
+func (s Set) Clone() Set {
+	if len(s.runs) == 0 {
+		return Set{}
+	}
+	runs := make([]Interval, len(s.runs))
+	copy(runs, s.runs)
+	return Set{runs: runs}
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return len(s.runs) == 0 }
+
+// Len returns the number of members.
+func (s Set) Len() int {
+	n := 0
+	for _, r := range s.runs {
+		n += int(r.Hi-r.Lo) + 1
+	}
+	return n
+}
+
+// RunCount returns the number of intervals in the internal coding; useful
+// for asserting compactness.
+func (s Set) RunCount() int { return len(s.runs) }
+
+// Max returns the largest member, or 0 if the set is empty.
+func (s Set) Max() Seq {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	return s.runs[len(s.runs)-1].Hi
+}
+
+// Min returns the smallest member, or 0 if the set is empty.
+func (s Set) Min() Seq {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	return s.runs[0].Lo
+}
+
+// Contains reports whether q is a member.
+func (s Set) Contains(q Seq) bool {
+	if q == 0 {
+		return false
+	}
+	// Find the first run with Hi >= q.
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi >= q })
+	return i < len(s.runs) && s.runs[i].Lo <= q
+}
+
+// Add inserts q into the set. Adding 0 is a no-op. It reports whether the
+// set changed (q was not already a member).
+func (s *Set) Add(q Seq) bool {
+	if q == 0 || s.Contains(q) {
+		return false
+	}
+	// Index of the first run with Hi >= q-1, i.e. the first run that q
+	// could extend or precede.
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi+1 >= q })
+	if i == len(s.runs) {
+		s.runs = append(s.runs, Interval{Lo: q, Hi: q})
+		return true
+	}
+	r := &s.runs[i]
+	switch {
+	case r.Hi+1 == q:
+		// Extend run i upward; possibly merge with run i+1.
+		r.Hi = q
+		if i+1 < len(s.runs) && s.runs[i+1].Lo == q+1 {
+			r.Hi = s.runs[i+1].Hi
+			s.runs = append(s.runs[:i+1], s.runs[i+2:]...)
+		}
+	case r.Lo == q+1:
+		// Extend run i downward. No merge possible with i-1: its Hi+1 < q
+		// held in the search, so runs[i-1].Hi+1 < q means not adjacent.
+		r.Lo = q
+	case r.Lo > q+1:
+		// Standalone run before run i.
+		s.runs = append(s.runs, Interval{})
+		copy(s.runs[i+1:], s.runs[i:])
+		s.runs[i] = Interval{Lo: q, Hi: q}
+	default:
+		// r.Lo <= q <= r.Hi would mean Contains(q); unreachable.
+		panic("seqset: Add invariant violation")
+	}
+	return true
+}
+
+// AddRange inserts every member of [lo, hi]. It panics on an invalid
+// range (lo == 0 or lo > hi).
+func (s *Set) AddRange(lo, hi Seq) {
+	if lo == 0 || lo > hi {
+		panic(fmt.Sprintf("seqset: invalid range [%d,%d]", lo, hi))
+	}
+	for q := lo; ; q++ {
+		s.Add(q)
+		if q == hi {
+			return
+		}
+	}
+}
+
+// Union adds every member of other to s.
+func (s *Set) Union(other Set) {
+	for _, r := range other.runs {
+		s.AddRange(r.Lo, r.Hi)
+	}
+}
+
+// Diff returns the members of s that are not members of other, as a new
+// set.
+func (s Set) Diff(other Set) Set {
+	var out Set
+	s.Each(func(q Seq) bool {
+		if !other.Contains(q) {
+			out.Add(q)
+		}
+		return true
+	})
+	return out
+}
+
+// Equal reports whether s and other have identical membership.
+func (s Set) Equal(other Set) bool {
+	if len(s.runs) != len(other.runs) {
+		return false
+	}
+	for i, r := range s.runs {
+		if other.runs[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls fn on every member in ascending order. Iteration stops if fn
+// returns false.
+func (s Set) Each(fn func(Seq) bool) {
+	for _, r := range s.runs {
+		for q := r.Lo; ; q++ {
+			if !fn(q) {
+				return
+			}
+			if q == r.Hi {
+				break
+			}
+		}
+	}
+}
+
+// Slice returns the members in ascending order.
+func (s Set) Slice() []Seq {
+	out := make([]Seq, 0, s.Len())
+	s.Each(func(q Seq) bool {
+		out = append(out, q)
+		return true
+	})
+	return out
+}
+
+// Gaps returns the sequence numbers in [1, Max()] that are missing from
+// the set — the "gaps" the protocol's gap-filling machinery must repair.
+// The result is empty when the set is a single run starting at 1.
+func (s Set) Gaps() []Seq {
+	if len(s.runs) == 0 {
+		return nil
+	}
+	var out []Seq
+	next := Seq(1)
+	for _, r := range s.runs {
+		for q := next; q < r.Lo; q++ {
+			out = append(out, q)
+		}
+		next = r.Hi + 1
+	}
+	return out
+}
+
+// GapCount returns the number of missing sequence numbers in [1, Max()]
+// without materializing them.
+func (s Set) GapCount() int {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	return int(s.Max()) - s.Len()
+}
+
+// Intervals returns a copy of the interval coding.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.runs))
+	copy(out, s.runs)
+	return out
+}
+
+// FromIntervals builds a set from arbitrary (possibly overlapping,
+// unsorted) intervals. Intervals with Lo == 0 or Lo > Hi are rejected
+// with an error, so the function is safe on untrusted wire input.
+func FromIntervals(ivs []Interval) (Set, error) {
+	var s Set
+	for _, iv := range ivs {
+		if iv.Lo == 0 || iv.Lo > iv.Hi {
+			return Set{}, fmt.Errorf("seqset: invalid interval [%d,%d]", iv.Lo, iv.Hi)
+		}
+		s.AddRange(iv.Lo, iv.Hi)
+	}
+	return s, nil
+}
+
+// Prune removes all members ≤ upTo. The paper (§6) notes INFO sets can be
+// pruned of prefixes known to be globally delivered.
+func (s *Set) Prune(upTo Seq) {
+	if upTo == 0 {
+		return
+	}
+	i := 0
+	for i < len(s.runs) && s.runs[i].Hi <= upTo {
+		i++
+	}
+	s.runs = s.runs[i:]
+	if len(s.runs) > 0 && s.runs[0].Lo <= upTo {
+		s.runs[0].Lo = upTo + 1
+	}
+}
+
+// String renders the set compactly, e.g. "{1-5,8,10-12}".
+func (s Set) String() string {
+	if len(s.runs) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.runs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if r.Lo == r.Hi {
+			fmt.Fprintf(&b, "%d", r.Lo)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", r.Lo, r.Hi)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// check validates internal invariants; used by tests.
+func (s Set) check() error {
+	for i, r := range s.runs {
+		if r.Lo == 0 || r.Lo > r.Hi {
+			return fmt.Errorf("run %d invalid: [%d,%d]", i, r.Lo, r.Hi)
+		}
+		if i > 0 && s.runs[i-1].Hi+1 >= r.Lo {
+			return fmt.Errorf("runs %d,%d overlap or adjacent: [%d,%d],[%d,%d]",
+				i-1, i, s.runs[i-1].Lo, s.runs[i-1].Hi, r.Lo, r.Hi)
+		}
+	}
+	return nil
+}

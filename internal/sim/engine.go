@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of timed
+// events. Events scheduled for the same instant fire in the order they
+// were scheduled, which — together with a single seeded random source —
+// makes every simulation run fully reproducible: the same seed and the
+// same scenario produce the same event sequence, byte for byte.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func()
+
+// ErrStopped is returned by Run variants when Stop was called.
+var ErrStopped = errors.New("sim: engine stopped")
+
+type scheduledEvent struct {
+	at  time.Duration
+	seq uint64 // insertion order; tie-break for same-instant events
+	fn  Event
+	// canceled events stay in the heap but are skipped when popped.
+	canceled *bool
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = scheduledEvent{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct {
+	canceled *bool
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. Cancel on the zero Timer is a no-op.
+func (t Timer) Cancel() {
+	if t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	ran     uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. All randomness
+// in a simulation must come from here to preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsRun reports the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending reports the number of events currently scheduled (including
+// canceled events not yet popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. It returns a Timer that can cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
+	if fn == nil {
+		panic("sim: Schedule called with nil event")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	canceled := new(bool)
+	e.seq++
+	heap.Push(&e.events, scheduledEvent{
+		at:       e.now + delay,
+		seq:      e.seq,
+		fn:       fn,
+		canceled: canceled,
+	})
+	return Timer{canceled: canceled}
+}
+
+// Stop makes the currently running Run/RunUntilIdle return after the
+// in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and executes the next event. It reports whether an event ran.
+func (e *Engine) step(limit time.Duration, bounded bool) (bool, error) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if bounded && next.at > limit {
+			return false, nil
+		}
+		heap.Pop(&e.events)
+		if *next.canceled {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		e.ran++
+		next.fn()
+		if e.stopped {
+			return true, ErrStopped
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run executes events until the virtual clock would pass until, then sets
+// the clock to until. Events scheduled exactly at until do fire. It
+// returns ErrStopped if Stop was called.
+func (e *Engine) Run(until time.Duration) error {
+	if until < e.now {
+		return fmt.Errorf("sim: Run until %v is before now %v", until, e.now)
+	}
+	for {
+		ran, err := e.step(until, true)
+		if err != nil {
+			e.stopped = false
+			return err
+		}
+		if !ran {
+			e.now = until
+			return nil
+		}
+	}
+}
+
+// Every schedules fn to run at the given period, starting one period
+// from now, until the returned timer is canceled. The callback runs once
+// per period regardless of how long it takes (virtual time is free).
+func (e *Engine) Every(period time.Duration, fn Event) Timer {
+	if fn == nil {
+		panic("sim: Every called with nil event")
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with period %v", period))
+	}
+	canceled := new(bool)
+	var tick Event
+	tick = func() {
+		if *canceled {
+			return
+		}
+		fn()
+		if !*canceled {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+	return Timer{canceled: canceled}
+}
+
+// RunUntilIdle executes events until none remain. It returns ErrStopped
+// if Stop was called. Use with care: periodic timers that reschedule
+// themselves never drain.
+func (e *Engine) RunUntilIdle() error {
+	for {
+		ran, err := e.step(0, false)
+		if err != nil {
+			e.stopped = false
+			return err
+		}
+		if !ran {
+			return nil
+		}
+	}
+}

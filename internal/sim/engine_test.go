@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.Schedule(5*time.Millisecond, func() { at = e.Now() })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Millisecond {
+		t.Errorf("event ran at %v, want 5ms", at)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Now() = %v after Run(1s), want 1s", e.Now())
+	}
+}
+
+func TestRunBoundary(t *testing.T) {
+	e := NewEngine(1)
+	ran := map[string]bool{}
+	e.Schedule(10*time.Millisecond, func() { ran["at"] = true })
+	e.Schedule(10*time.Millisecond+1, func() { ran["after"] = true })
+	if err := e.Run(10 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran["at"] {
+		t.Error("event exactly at boundary did not run")
+	}
+	if ran["after"] {
+		t.Error("event after boundary ran")
+	}
+	// Second Run picks up the remaining event.
+	if err := e.Run(20 * time.Millisecond); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !ran["after"] {
+		t.Error("remaining event did not run on second Run")
+	}
+}
+
+func TestRunBackwardsRejected(t *testing.T) {
+	e := NewEngine(1)
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := e.Run(time.Millisecond); err == nil {
+		t.Fatal("Run into the past succeeded, want error")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved to %v, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	tm := e.Schedule(time.Millisecond, func() { ran = true })
+	tm.Cancel()
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if ran {
+		t.Error("canceled event ran")
+	}
+	// Double cancel and zero-timer cancel are no-ops.
+	tm.Cancel()
+	Timer{}.Cancel()
+}
+
+func TestCancelFromEvent(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	var victim Timer
+	e.Schedule(time.Millisecond, func() { victim.Cancel() })
+	victim = e.Schedule(2*time.Millisecond, func() { ran = true })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if ran {
+		t.Error("event canceled by earlier event still ran")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+		e.Schedule(time.Millisecond, tick)
+	}
+	e.Schedule(time.Millisecond, tick)
+	if err := e.Run(time.Hour); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	// Engine is usable again after Stop.
+	if err := e.Run(e.Now() + 3*time.Millisecond); err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+	if count < 6 {
+		t.Errorf("count = %d after resume, want > 5", count)
+	}
+}
+
+func TestReschedulingChain(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Errorf("Now() = %v, want 99ms", e.Now())
+	}
+	if e.EventsRun() != 100 {
+		t.Errorf("EventsRun() = %d, want 100", e.EventsRun())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(42)
+		var got []int
+		for i := 0; i < 50; i++ {
+			i := i
+			d := time.Duration(e.Rand().Intn(100)) * time.Millisecond
+			e.Schedule(d, func() { got = append(got, i) })
+		}
+		if err := e.RunUntilIdle(); err != nil {
+			t.Fatalf("RunUntilIdle: %v", err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tm Timer
+	tm = e.Every(10*time.Millisecond, func() {
+		count++
+		if count == 5 {
+			tm.Cancel()
+		}
+	})
+	if err := e.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5 (canceled after fifth firing)", count)
+	}
+	if e.Pending() != 0 {
+		// One canceled placeholder may linger until popped; drain fully.
+		if err := e.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEveryFirstFiringAfterOnePeriod(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	tm := e.Every(25*time.Millisecond, func() {
+		if at == 0 {
+			at = e.Now()
+		}
+	})
+	defer tm.Cancel()
+	if err := e.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if at != 25*time.Millisecond {
+		t.Errorf("first firing at %v, want 25ms", at)
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	e := NewEngine(1)
+	for _, fn := range []func(){
+		func() { e.Every(0, func() {}) },
+		func() { e.Every(time.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Every accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Millisecond, func() {})
+	e.Schedule(time.Millisecond, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Errorf("Pending() = %d, want 2", got)
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", got)
+	}
+}

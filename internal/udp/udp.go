@@ -1,0 +1,341 @@
+// Package udp runs protocol hosts over real UDP sockets.
+//
+// This is the deployment-shaped runtime: each node owns a datagram
+// socket, frames are the binary wire encoding, and UDP supplies the loss,
+// reordering, and duplication semantics the protocol was designed for.
+//
+// Real networks provide no cost bit, so the package implements the
+// paper's §2 alternative: "timestamp each message at the time it is sent
+// out [...] since the expected times for cheaply delivered messages and
+// for expensively delivered ones vary significantly, hosts would be able
+// to tell them apart." Every datagram carries a send timestamp; the
+// receiver sets the cost bit when the observed transit time exceeds a
+// configured threshold. (This assumes roughly synchronized clocks, which
+// holds trivially for same-machine tests and within NTP bounds
+// otherwise.)
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+	"rbcast/internal/wire"
+)
+
+// header: 8-byte big-endian unix-nano send timestamp, then a wire frame.
+const headerLen = 8
+
+// maxDatagram bounds reads; larger frames are dropped like any network
+// loss.
+const maxDatagram = 64 * 1024
+
+// NodeConfig assembles one UDP protocol node.
+type NodeConfig struct {
+	// ID and Source identify this host and the broadcast source.
+	ID     core.HostID
+	Source core.HostID
+	// Peers maps every participant (including ID) to its UDP address.
+	Peers map[core.HostID]string
+	// Params tunes the protocol; zero value uses fast in-memory-scale
+	// defaults suitable for loopback.
+	Params core.Params
+	// ExpensiveThreshold is the transit time above which a message is
+	// classified as expensively delivered; default 25 ms.
+	ExpensiveThreshold time.Duration
+	// Conn optionally supplies a pre-bound socket (whose address must
+	// match Peers[ID]); used to avoid bind races when allocating a group
+	// of nodes on ephemeral ports.
+	Conn *net.UDPConn
+	// OnDeliver observes application deliveries; may be nil.
+	OnDeliver func(seq seqset.Seq, payload []byte)
+}
+
+// Node is one running UDP protocol host.
+type Node struct {
+	cfg   NodeConfig
+	host  *core.Host
+	conn  *net.UDPConn
+	addrs map[core.HostID]*net.UDPAddr
+
+	cmds    chan func(now time.Duration)
+	stop    chan struct{}
+	done    chan struct{}
+	stopped sync.Once
+	started time.Time
+
+	mu        sync.Mutex
+	delivered seqset.Set
+
+	stats struct {
+		sync.Mutex
+		sent, received, decodeErrors, sendErrors uint64
+	}
+}
+
+// StartNode binds the node's socket and starts its loops.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	addr, ok := cfg.Peers[cfg.ID]
+	if !ok {
+		return nil, fmt.Errorf("udp: own id %d missing from Peers", cfg.ID)
+	}
+	if cfg.ExpensiveThreshold <= 0 {
+		cfg.ExpensiveThreshold = 25 * time.Millisecond
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = DefaultNodeParams()
+	}
+	conn := cfg.Conn
+	if conn == nil {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("udp: resolving %q: %w", addr, err)
+		}
+		var err2 error
+		conn, err2 = net.ListenUDP("udp", udpAddr)
+		if err2 != nil {
+			return nil, fmt.Errorf("udp: listen: %w", err2)
+		}
+	}
+	n := &Node{
+		cfg:     cfg,
+		conn:    conn,
+		addrs:   make(map[core.HostID]*net.UDPAddr, len(cfg.Peers)),
+		cmds:    make(chan func(time.Duration), 16),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	var peers []core.HostID
+	for id, a := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("udp: resolving peer %d %q: %w", id, a, err)
+		}
+		n.addrs[id] = ua
+		peers = append(peers, id)
+	}
+	host, err := core.NewHost(core.Config{
+		ID:     cfg.ID,
+		Source: cfg.Source,
+		Peers:  peers,
+		Params: cfg.Params,
+	}, (*nodeEnv)(n))
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	n.host = host
+	go n.readLoop()
+	go n.mainLoop()
+	return n, nil
+}
+
+// DefaultNodeParams returns tunables scaled for loopback UDP.
+func DefaultNodeParams() core.Params {
+	return core.Params{
+		TickInterval:      2 * time.Millisecond,
+		AttachPeriod:      20 * time.Millisecond,
+		InfoClusterPeriod: 8 * time.Millisecond,
+		InfoRemotePeriod:  30 * time.Millisecond,
+		InfoGlobalPeriod:  60 * time.Millisecond,
+		GapClusterPeriod:  12 * time.Millisecond,
+		GapRemotePeriod:   40 * time.Millisecond,
+		GapGlobalPeriod:   90 * time.Millisecond,
+		AttachTimeout:     25 * time.Millisecond,
+		ParentTimeout:     150 * time.Millisecond,
+		GapFillBatch:      64,
+		AttachFillLimit:   256,
+	}
+}
+
+// Addr returns the node's bound UDP address (useful with ":0" configs).
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// ID returns the node's host ID.
+func (n *Node) ID() core.HostID { return n.cfg.ID }
+
+// nodeEnv is the core.Env face of a node; methods run on the main loop.
+type nodeEnv Node
+
+func (e *nodeEnv) Send(to core.HostID, m core.Message) {
+	n := (*Node)(e)
+	addr, ok := n.addrs[to]
+	if !ok {
+		return
+	}
+	frame, err := wire.Encode(wire.Frame{From: n.cfg.ID, Message: m})
+	if err != nil {
+		n.stats.Lock()
+		n.stats.sendErrors++
+		n.stats.Unlock()
+		return
+	}
+	buf := make([]byte, 0, headerLen+len(frame))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(time.Now().UnixNano()))
+	buf = append(buf, frame...)
+	if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+		n.stats.Lock()
+		n.stats.sendErrors++
+		n.stats.Unlock()
+		return
+	}
+	n.stats.Lock()
+	n.stats.sent++
+	n.stats.Unlock()
+}
+
+func (e *nodeEnv) Deliver(seq seqset.Seq, payload []byte) {
+	n := (*Node)(e)
+	n.mu.Lock()
+	n.delivered.Add(seq)
+	n.mu.Unlock()
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(seq, payload)
+	}
+}
+
+type inbound struct {
+	costBit bool
+	frame   wire.Frame
+}
+
+// readLoop owns the socket: decode, classify transit time, hand off.
+func (n *Node) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		count, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (or a transient error after stop): exit.
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if count < headerLen {
+			continue
+		}
+		sentAt := time.Unix(0, int64(binary.BigEndian.Uint64(buf[:headerLen])))
+		frame, err := wire.Decode(buf[headerLen:count])
+		if err != nil {
+			n.stats.Lock()
+			n.stats.decodeErrors++
+			n.stats.Unlock()
+			continue
+		}
+		n.stats.Lock()
+		n.stats.received++
+		n.stats.Unlock()
+		in := inbound{
+			costBit: time.Since(sentAt) > n.cfg.ExpensiveThreshold,
+			frame:   frame,
+		}
+		select {
+		case n.cmds <- func(now time.Duration) {
+			n.host.HandleMessage(now, in.frame.From, in.costBit, in.frame.Message)
+		}:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// mainLoop serializes all host interactions.
+func (n *Node) mainLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.Params.TickInterval)
+	defer ticker.Stop()
+	n.host.Start(n.now())
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.host.Tick(n.now())
+		case cmd := <-n.cmds:
+			cmd(n.now())
+		}
+	}
+}
+
+func (n *Node) now() time.Duration { return time.Since(n.started) }
+
+// Broadcast injects the next message at the source node.
+func (n *Node) Broadcast(payload []byte) (seqset.Seq, error) {
+	if n.cfg.ID != n.cfg.Source {
+		return 0, fmt.Errorf("udp: node %d is not the source", n.cfg.ID)
+	}
+	result := make(chan seqset.Seq, 1)
+	select {
+	case n.cmds <- func(now time.Duration) { result <- n.host.Broadcast(now, payload) }:
+	case <-n.stop:
+		return 0, fmt.Errorf("udp: node stopped")
+	}
+	select {
+	case seq := <-result:
+		return seq, nil
+	case <-n.stop:
+		return 0, fmt.Errorf("udp: node stopped")
+	}
+}
+
+// Inspect runs fn against the protocol host on the node's own loop — the
+// only safe way to read a running node's protocol state.
+func (n *Node) Inspect(fn func(h *core.Host)) error {
+	done := make(chan struct{})
+	select {
+	case n.cmds <- func(time.Duration) {
+		fn(n.host)
+		close(done)
+	}:
+	case <-n.stop:
+		return fmt.Errorf("udp: node stopped")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.stop:
+		return fmt.Errorf("udp: node stopped")
+	}
+}
+
+// Delivered returns the sequence numbers this node has delivered.
+func (n *Node) Delivered() seqset.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered.Clone()
+}
+
+// HasAll reports whether the node has delivered 1..max with no gaps.
+func (n *Node) HasAll(max seqset.Seq) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered.Max() == max && n.delivered.GapCount() == 0 && (max == 0 || !n.delivered.Empty())
+}
+
+// Stats returns (sent, received, decode errors, send errors).
+func (n *Node) Stats() (sent, received, decodeErrs, sendErrs uint64) {
+	n.stats.Lock()
+	defer n.stats.Unlock()
+	return n.stats.sent, n.stats.received, n.stats.decodeErrors, n.stats.sendErrors
+}
+
+// Stop closes the socket and waits for the loops. Safe to call twice.
+func (n *Node) Stop() {
+	n.stopped.Do(func() {
+		close(n.stop)
+		_ = n.conn.Close()
+	})
+	<-n.done
+}

@@ -1,0 +1,113 @@
+package udp_test
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+	"rbcast/internal/udp"
+)
+
+const waitBudget = 20 * time.Second
+
+func TestUDPBroadcast(t *testing.T) {
+	g, err := udp.StartGroup(5, core.Params{})
+	if err != nil {
+		t.Fatalf("StartGroup: %v", err)
+	}
+	defer g.Stop()
+	var last seqset.Seq
+	for i := 0; i < 10; i++ {
+		seq, err := g.Broadcast([]byte("datagram"))
+		if err != nil {
+			t.Fatalf("Broadcast: %v", err)
+		}
+		last = seq
+	}
+	if !g.WaitAll(last, waitBudget) {
+		for id, n := range g.Nodes {
+			t.Logf("node %d delivered %v", id, n.Delivered())
+		}
+		t.Fatal("UDP broadcast incomplete")
+	}
+	for id, n := range g.Nodes {
+		_, _, decodeErrs, sendErrs := n.Stats()
+		if decodeErrs != 0 || sendErrs != 0 {
+			t.Errorf("node %d: decodeErrs=%d sendErrs=%d", id, decodeErrs, sendErrs)
+		}
+	}
+}
+
+func TestUDPDeliveryCallback(t *testing.T) {
+	g, err := udp.StartGroup(2, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	seq, err := g.Broadcast([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.WaitAll(seq, waitBudget) {
+		t.Fatal("broadcast incomplete")
+	}
+	if !g.Nodes[2].Delivered().Contains(seq) {
+		t.Error("node 2 missing the broadcast")
+	}
+}
+
+func TestUDPNonSourceCannotBroadcast(t *testing.T) {
+	g, err := udp.StartGroup(2, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if _, err := g.Nodes[2].Broadcast([]byte("x")); err == nil {
+		t.Error("non-source node broadcast succeeded")
+	}
+}
+
+func TestUDPStopIdempotent(t *testing.T) {
+	g, err := udp.StartGroup(2, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	g.Stop() // no panic, no deadlock
+	if _, err := g.Broadcast([]byte("x")); err == nil {
+		t.Error("broadcast succeeded after stop")
+	}
+}
+
+func TestUDPConfigValidation(t *testing.T) {
+	if _, err := udp.StartNode(udp.NodeConfig{
+		ID:     1,
+		Source: 1,
+		Peers:  map[core.HostID]string{2: "127.0.0.1:9"},
+	}); err == nil {
+		t.Error("own id missing from peers accepted")
+	}
+	if _, err := udp.StartGroup(0, core.Params{}); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestUDPGroupSurvivesBurst(t *testing.T) {
+	g, err := udp.StartGroup(4, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	var last seqset.Seq
+	for i := 0; i < 50; i++ {
+		seq, err := g.Broadcast(make([]byte, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+	}
+	if !g.WaitAll(last, waitBudget) {
+		t.Fatalf("burst of %d messages not fully delivered", last)
+	}
+}

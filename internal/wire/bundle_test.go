@@ -1,0 +1,125 @@
+package wire_test
+
+import (
+	"testing"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+	"rbcast/internal/wire"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	f := wire.Frame{
+		From: 3,
+		Message: core.Message{
+			Kind: core.MsgBundle,
+			Parts: []core.Message{
+				{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 9)},
+				{Kind: core.MsgData, Seq: 4, Payload: []byte("fill"), GapFill: true},
+				{Kind: core.MsgInfo, Info: seqset.FromSlice([]seqset.Seq{1, 3, 9}), Parent: 7},
+			},
+		},
+	}
+	data, err := wire.Encode(f)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := wire.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.From != 3 || got.Message.Kind != core.MsgBundle {
+		t.Fatalf("frame = %+v", got)
+	}
+	if len(got.Message.Parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(got.Message.Parts))
+	}
+	p := got.Message.Parts
+	if p[0].Kind != core.MsgAttachAccept || !p[0].Info.Equal(seqset.FromRange(1, 9)) {
+		t.Errorf("part 0 = %+v", p[0])
+	}
+	if p[1].Kind != core.MsgData || p[1].Seq != 4 || string(p[1].Payload) != "fill" || !p[1].GapFill {
+		t.Errorf("part 1 = %+v", p[1])
+	}
+	if p[2].Kind != core.MsgInfo || p[2].Parent != 7 {
+		t.Errorf("part 2 = %+v", p[2])
+	}
+}
+
+func TestBundleEmptyRoundTrip(t *testing.T) {
+	data, err := wire.Encode(wire.Frame{From: 1, Message: core.Message{Kind: core.MsgBundle}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := wire.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Message.Parts) != 0 {
+		t.Errorf("parts = %v, want none", got.Message.Parts)
+	}
+}
+
+func TestNestedBundleRejected(t *testing.T) {
+	_, err := wire.Encode(wire.Frame{
+		From: 1,
+		Message: core.Message{
+			Kind: core.MsgBundle,
+			Parts: []core.Message{
+				{Kind: core.MsgBundle, Parts: []core.Message{{Kind: core.MsgDetach}}},
+			},
+		},
+	})
+	if err == nil {
+		t.Error("Encode accepted a nested bundle")
+	}
+}
+
+func TestPartsOnNonBundleRejected(t *testing.T) {
+	_, err := wire.Encode(wire.Frame{
+		From: 1,
+		Message: core.Message{
+			Kind:  core.MsgInfo,
+			Parts: []core.Message{{Kind: core.MsgDetach}},
+		},
+	})
+	if err == nil {
+		t.Error("Encode accepted parts on a non-bundle frame")
+	}
+}
+
+func TestBundlePartSenderMismatchRejected(t *testing.T) {
+	// Hand-craft a bundle whose inner frame claims a different sender.
+	inner, err := wire.Encode(wire.Frame{From: 9, Message: core.Message{Kind: core.MsgDetach}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := wire.Encode(wire.Frame{From: 1, Message: core.Message{
+		Kind:  core.MsgBundle,
+		Parts: []core.Message{{Kind: core.MsgDetach}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single part sits at the end: 4-byte length + inner frame. The
+	// honest part has the same length as the forged one, so splice.
+	forged := append(outer[:len(outer)-len(inner)], inner...)
+	if _, err := wire.Decode(forged); err == nil {
+		t.Error("Decode accepted a bundle part with a mismatched sender")
+	}
+}
+
+func TestBundleTruncatedPartsRejected(t *testing.T) {
+	data, err := wire.Encode(wire.Frame{From: 1, Message: core.Message{
+		Kind: core.MsgBundle,
+		Parts: []core.Message{
+			{Kind: core.MsgData, Seq: 1, Payload: []byte("abc")},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.Decode(data[:len(data)-2]); err == nil {
+		t.Error("Decode accepted a truncated bundle")
+	}
+}

@@ -1,0 +1,64 @@
+package wire_test
+
+import (
+	"testing"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+	"rbcast/internal/wire"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes (the corpus seeds
+// with valid frames of every kind). The decoder must never panic, and
+// anything it accepts must re-encode and re-decode to the same frame.
+// Run with `go test -fuzz FuzzDecode ./internal/wire` for a real fuzzing
+// session; as a plain test it replays the seed corpus.
+func FuzzDecode(f *testing.F) {
+	seedFrames := []wire.Frame{
+		{From: 1, Message: core.Message{Kind: core.MsgData, Seq: 42, Payload: []byte("hello")}},
+		{From: 2, Message: core.Message{Kind: core.MsgData, Seq: 7, GapFill: true}},
+		{From: 3, Message: core.Message{Kind: core.MsgInfo, Info: seqset.FromSlice([]seqset.Seq{1, 2, 9}), Parent: 4}},
+		{From: 4, Message: core.Message{Kind: core.MsgAttachReq, Info: seqset.FromRange(1, 5)}},
+		{From: 5, Message: core.Message{Kind: core.MsgAttachAccept}},
+		{From: 6, Message: core.Message{Kind: core.MsgAttachReject}},
+		{From: 7, Message: core.Message{Kind: core.MsgDetach}},
+		{From: 8, Message: core.Message{Kind: core.MsgBundle, Parts: []core.Message{
+			{Kind: core.MsgInfo, Info: seqset.FromRange(1, 3)},
+			{Kind: core.MsgData, Seq: 2, Payload: []byte("p"), GapFill: true},
+		}}},
+	}
+	for _, fr := range seedFrames {
+		data, err := wire.Encode(fr)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xB7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := wire.Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted frames must round-trip losslessly.
+		re, err := wire.Encode(frame)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v (frame %+v)", err, frame)
+		}
+		again, err := wire.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.From != frame.From || again.Message.Kind != frame.Message.Kind ||
+			again.Message.Seq != frame.Message.Seq ||
+			again.Message.GapFill != frame.Message.GapFill ||
+			again.Message.Parent != frame.Message.Parent ||
+			string(again.Message.Payload) != string(frame.Message.Payload) ||
+			!again.Message.Info.Equal(frame.Message.Info) ||
+			len(again.Message.Parts) != len(frame.Message.Parts) {
+			t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", frame, again)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package wire serializes protocol messages to a compact binary format.
+//
+// The discrete-event simulator passes message values in memory, but the
+// live runtime (internal/live) and any real deployment need a wire form.
+// The encoding is hand-rolled over encoding/binary: a fixed header, then
+// kind-dependent fields, with INFO sets as interval lists (the seqset
+// coding), all length-prefixed and bounds-checked so a corrupt or
+// malicious frame cannot allocate unbounded memory or panic the decoder.
+//
+// Frame layout (all integers big-endian):
+//
+//	byte    magic (0xB7)
+//	byte    version (1)
+//	byte    kind
+//	byte    flags (bit 0: gap fill)
+//	uint32  sender host ID
+//	uint32  parent host ID
+//	uint64  sequence number
+//	uint32  payload length, then payload bytes
+//	uint32  interval count, then (uint64 lo, uint64 hi) pairs
+//
+// Bundle frames (kind = MsgBundle) additionally carry:
+//
+//	uint32  part count, then per part: uint32 length + encoded sub-frame
+//
+// Sub-frames are complete frames of non-bundle kinds (bundles never
+// nest).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+)
+
+const (
+	magic   = 0xB7
+	version = 1
+
+	flagGapFill = 1 << 0
+
+	headerLen = 1 + 1 + 1 + 1 + 4 + 4 + 8
+
+	// MaxPayload bounds the data payload length accepted by the decoder.
+	MaxPayload = 1 << 20
+	// MaxIntervals bounds the INFO interval count accepted by the decoder.
+	MaxIntervals = 1 << 16
+	// MaxParts bounds the piggybacked part count accepted by the decoder.
+	MaxParts = 1 << 12
+)
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrBadMagic   = errors.New("wire: bad magic byte")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrTooLarge   = errors.New("wire: field exceeds decoder limit")
+	ErrTrailing   = errors.New("wire: trailing bytes after frame")
+)
+
+// Frame is a protocol message plus its sender, as transmitted.
+type Frame struct {
+	From    core.HostID
+	Message core.Message
+}
+
+// Encode renders a frame to bytes.
+func Encode(f Frame) ([]byte, error) {
+	if f.Message.Kind < core.MsgData || f.Message.Kind > core.MsgBundle {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Message.Kind)
+	}
+	if f.Message.Kind != core.MsgBundle && len(f.Message.Parts) > 0 {
+		return nil, fmt.Errorf("wire: non-bundle frame carries %d parts", len(f.Message.Parts))
+	}
+	if len(f.Message.Parts) > MaxParts {
+		return nil, fmt.Errorf("%w: %d parts", ErrTooLarge, len(f.Message.Parts))
+	}
+	if len(f.Message.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Message.Payload))
+	}
+	ivs := f.Message.Info.Intervals()
+	if len(ivs) > MaxIntervals {
+		return nil, fmt.Errorf("%w: %d intervals", ErrTooLarge, len(ivs))
+	}
+	size := headerLen + 4 + len(f.Message.Payload) + 4 + 16*len(ivs)
+	buf := make([]byte, 0, size)
+
+	var flags byte
+	if f.Message.GapFill {
+		flags |= flagGapFill
+	}
+	buf = append(buf, magic, version, byte(f.Message.Kind), flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.From))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Message.Parent))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(f.Message.Seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Message.Payload)))
+	buf = append(buf, f.Message.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ivs)))
+	for _, iv := range ivs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Lo))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Hi))
+	}
+	if f.Message.Kind == core.MsgBundle {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Message.Parts)))
+		for _, part := range f.Message.Parts {
+			if part.Kind == core.MsgBundle {
+				return nil, fmt.Errorf("wire: nested bundle")
+			}
+			sub, err := Encode(Frame{From: f.From, Message: part})
+			if err != nil {
+				return nil, err
+			}
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub)))
+			buf = append(buf, sub...)
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses a frame, rejecting malformed or oversized input.
+func Decode(data []byte) (Frame, error) {
+	var f Frame
+	if len(data) < headerLen {
+		return f, ErrTruncated
+	}
+	if data[0] != magic {
+		return f, ErrBadMagic
+	}
+	if data[1] != version {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
+	}
+	kind := core.MsgKind(data[2])
+	if kind < core.MsgData || kind > core.MsgBundle {
+		return f, fmt.Errorf("%w: %d", ErrBadKind, data[2])
+	}
+	flags := data[3]
+	f.From = core.HostID(binary.BigEndian.Uint32(data[4:8]))
+	f.Message.Kind = kind
+	f.Message.GapFill = flags&flagGapFill != 0
+	f.Message.Parent = core.HostID(binary.BigEndian.Uint32(data[8:12]))
+	f.Message.Seq = seqset.Seq(binary.BigEndian.Uint64(data[12:20]))
+	rest := data[headerLen:]
+
+	payload, rest, err := readBytes(rest, MaxPayload)
+	if err != nil {
+		return f, err
+	}
+	if len(payload) > 0 {
+		f.Message.Payload = payload
+	}
+
+	if len(rest) < 4 {
+		return f, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if n > MaxIntervals {
+		return f, fmt.Errorf("%w: %d intervals", ErrTooLarge, n)
+	}
+	if uint64(len(rest)) < uint64(n)*16 {
+		return f, ErrTruncated
+	}
+	ivs := make([]seqset.Interval, 0, n)
+	for i := uint32(0); i < n; i++ {
+		lo := seqset.Seq(binary.BigEndian.Uint64(rest[:8]))
+		hi := seqset.Seq(binary.BigEndian.Uint64(rest[8:16]))
+		rest = rest[16:]
+		ivs = append(ivs, seqset.Interval{Lo: lo, Hi: hi})
+	}
+	info, err := seqset.FromIntervals(ivs)
+	if err != nil {
+		return f, fmt.Errorf("wire: %w", err)
+	}
+	f.Message.Info = info
+
+	if kind == core.MsgBundle {
+		if len(rest) < 4 {
+			return f, ErrTruncated
+		}
+		nParts := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if nParts > MaxParts {
+			return f, fmt.Errorf("%w: %d parts", ErrTooLarge, nParts)
+		}
+		parts := make([]core.Message, 0, nParts)
+		for i := uint32(0); i < nParts; i++ {
+			sub, remaining, err := readBytes(rest, MaxPayload+1024)
+			if err != nil {
+				return f, err
+			}
+			rest = remaining
+			subFrame, err := Decode(sub)
+			if err != nil {
+				return f, fmt.Errorf("wire: bundle part %d: %w", i, err)
+			}
+			if subFrame.Message.Kind == core.MsgBundle {
+				return f, fmt.Errorf("%w: nested bundle", ErrBadKind)
+			}
+			if subFrame.From != f.From {
+				return f, fmt.Errorf("wire: bundle part %d from %d, bundle from %d",
+					i, subFrame.From, f.From)
+			}
+			parts = append(parts, subFrame.Message)
+		}
+		f.Message.Parts = parts
+	}
+	if len(rest) != 0 {
+		return f, ErrTrailing
+	}
+	return f, nil
+}
+
+// readBytes consumes a uint32 length prefix and that many bytes. The
+// returned slice is a copy, detached from the input buffer.
+func readBytes(data []byte, limit int) (payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	data = data[4:]
+	if int64(n) > int64(limit) {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if uint64(len(data)) < uint64(n) {
+		return nil, nil, ErrTruncated
+	}
+	return append([]byte(nil), data[:n]...), data[n:], nil
+}
