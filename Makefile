@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test race check soak fuzz clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate for every change: compile everything, lint with vet,
+# and run the full suite under the race detector.
+check: build vet race
+
+# soak runs a quick randomized sweep of every scenario class (the
+# partition-trap class is excluded: it fails by design).
+soak: build
+	$(GO) run ./cmd/rbsoak -class uniform -count 500
+	$(GO) run ./cmd/rbsoak -class churn -count 500
+	$(GO) run ./cmd/rbsoak -class partition -count 500
+	$(GO) run ./cmd/rbsoak -class mixed -count 500
+
+# fuzz gives each fuzz target a short budget; raise -fuzztime for real
+# campaigns.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=$(FUZZTIME) ./internal/live/
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire/
+
+clean:
+	$(GO) clean ./...

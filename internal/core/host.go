@@ -22,6 +22,12 @@ type Host struct {
 
 	// info is INFO_i: the set of sequence numbers received so far.
 	info seqset.Set
+	// prunedTo is the §6 pruning floor: every sequence number ≤ prunedTo
+	// was pruned from info and the store after being confirmed globally
+	// held. The floor makes pruning safe on duplicating networks — a
+	// late copy of a pruned message must be recognized as a duplicate
+	// even though info no longer contains it.
+	prunedTo seqset.Seq
 	// store holds message payloads for redelivery (the paper's
 	// non-volatile storage).
 	store map[seqset.Seq][]byte
@@ -368,7 +374,7 @@ func (h *Host) handleData(now time.Duration, from HostID, m Message) {
 	// The sender evidently has the message.
 	h.learnHas(from, m.Seq)
 
-	if h.info.Contains(m.Seq) {
+	if m.Seq <= h.prunedTo || h.info.Contains(m.Seq) {
 		h.event(now, EvDuplicate, from, m.Seq)
 		return
 	}
@@ -631,7 +637,7 @@ func (h *Host) gapFillGlobal() {
 // store. Unknown hosts (empty MAP entries) hold the prefix at zero, so
 // pruning is conservative.
 func (h *Host) pruneStable() {
-	p := h.contiguousPrefix(h.info)
+	p := h.ownPrefix()
 	for _, j := range h.peers {
 		if j == h.id {
 			continue
@@ -643,10 +649,15 @@ func (h *Host) pruneStable() {
 			return
 		}
 	}
-	if p == 0 {
+	// The floor must be monotonic: a reordered routine Info can replace a
+	// peer's confirmed view with an older snapshot, shrinking the computed
+	// prefix. Regressing prunedTo would reopen the duplicate window for
+	// already-pruned sequence numbers.
+	if p == 0 || p-1 <= h.prunedTo {
 		return
 	}
 	h.info.Prune(p - 1) // keep p itself so Max stays meaningful even if alone
+	h.prunedTo = p - 1
 	for q := range h.store {
 		if q < p {
 			delete(h.store, q)
@@ -659,6 +670,18 @@ func (h *Host) contiguousPrefix(s seqset.Set) seqset.Seq {
 	ivs := s.Intervals()
 	if len(ivs) == 0 || ivs[0].Lo != 1 {
 		return 0
+	}
+	return ivs[0].Hi
+}
+
+// ownPrefix is contiguousPrefix of INFO_i accounting for the pruning
+// floor: pruned members are held by definition, so a run starting at
+// prunedTo+1 continues the prefix. Without this, pruning would stall
+// after its first round (INFO would never again start at 1).
+func (h *Host) ownPrefix() seqset.Seq {
+	ivs := h.info.Intervals()
+	if len(ivs) == 0 || ivs[0].Lo > h.prunedTo+1 {
+		return h.prunedTo
 	}
 	return ivs[0].Hi
 }

@@ -208,6 +208,25 @@ func (rt *Runtime) Finish() (*Result, error) {
 	return rt.result, nil
 }
 
+// Settle advances virtual time by extra regardless of completion. Sweep
+// drivers use it after the workload finishes (possibly early, via
+// StopWhenComplete) to let the parent graph converge before checking
+// structural invariants.
+func (rt *Runtime) Settle(extra time.Duration) error {
+	if extra <= 0 {
+		return nil
+	}
+	return rt.Engine.Run(rt.Engine.Now() + extra)
+}
+
+// Finalize snapshots network statistics and final parent pointers into
+// the result without running the engine further. It is idempotent;
+// Finish calls it implicitly.
+func (rt *Runtime) Finalize() *Result {
+	rt.finalize()
+	return rt.result
+}
+
 // RunUntil advances virtual time to the given instant, stopping early at
 // completion when the scenario asks for it.
 func (rt *Runtime) RunUntil(until time.Duration) error {

@@ -123,6 +123,126 @@ func (rt *Runtime) InducesClusterTree() (bool, string) {
 	return true, ""
 }
 
+// Violation is one failed invariant, named so sweep reports can group
+// failures across thousands of runs.
+type Violation struct {
+	// Invariant is a stable identifier ("acyclic", "spanning-tree",
+	// "cluster-tree", "delivery", "duplicates", "send-errors").
+	Invariant string
+	// Detail explains the specific failure.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// InvariantOptions selects which checks CheckInvariants applies beyond
+// the unconditional ones (acyclicity, no duplicate deliveries, no send
+// errors).
+type InvariantOptions struct {
+	// RequireDelivery demands every host delivered every message.
+	RequireDelivery bool
+	// RequireTree demands a spanning tree rooted at the source inducing a
+	// cluster tree — only meaningful once the network is connected and
+	// the protocol has had time to converge.
+	RequireTree bool
+}
+
+// CheckInvariants runs the invariant bundle and returns every violation
+// found. Hosts are visited in ascending ID order, so for a given runtime
+// state the report is byte-for-byte deterministic — a property the soak
+// engine's worker-count-independence guarantee rests on.
+func (rt *Runtime) CheckInvariants(opts InvariantOptions) []Violation {
+	var out []Violation
+	res := rt.result
+	if res.DuplicateDeliveries != 0 {
+		out = append(out, Violation{"duplicates",
+			fmt.Sprintf("%d duplicate deliveries", res.DuplicateDeliveries)})
+	}
+	if res.SendErrors != 0 {
+		out = append(out, Violation{"send-errors",
+			fmt.Sprintf("%d rejected sends", res.SendErrors)})
+	}
+	if rt.TreeHosts != nil {
+		if v, ok := rt.checkAcyclicSorted(); !ok {
+			out = append(out, v)
+		} else if opts.RequireTree {
+			if v, ok := rt.checkSpanningSorted(); !ok {
+				out = append(out, v)
+			} else if ok, why := rt.InducesClusterTree(); !ok {
+				out = append(out, Violation{"cluster-tree", why})
+			}
+		}
+	}
+	if opts.RequireDelivery {
+		for _, h := range rt.sortedHosts() {
+			if missing := res.MissingAt(h); len(missing) > 0 {
+				out = append(out, Violation{"delivery",
+					fmt.Sprintf("host %d missing %d of %d messages (first %v)",
+						h, len(missing), res.TotalMessages(), missing[0])})
+			}
+		}
+	}
+	return out
+}
+
+func (rt *Runtime) sortedHosts() []core.HostID {
+	hosts := make([]core.HostID, len(rt.result.HostList))
+	copy(hosts, rt.result.HostList)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// checkAcyclicSorted is ParentGraphAcyclic with deterministic host order
+// and a Violation-shaped report.
+func (rt *Runtime) checkAcyclicSorted() (Violation, bool) {
+	for _, id := range rt.sortedHosts() {
+		seen := map[core.HostID]bool{}
+		cur := id
+		for cur != core.Nil {
+			if seen[cur] {
+				return Violation{"acyclic",
+					fmt.Sprintf("parent cycle reachable from host %d (via %d)", id, cur)}, false
+			}
+			seen[cur] = true
+			h, ok := rt.TreeHosts[cur]
+			if !ok {
+				break
+			}
+			cur = h.Parent()
+		}
+	}
+	return Violation{}, true
+}
+
+// checkSpanningSorted is SpanningTreeRooted with deterministic host order.
+func (rt *Runtime) checkSpanningSorted() (Violation, bool) {
+	source := core.HostID(rt.Topo.Source)
+	for _, id := range rt.sortedHosts() {
+		if id == source {
+			if p := rt.TreeHosts[id].Parent(); p != core.Nil {
+				return Violation{"spanning-tree", fmt.Sprintf("source has parent %d", p)}, false
+			}
+			continue
+		}
+		cur := id
+		steps := 0
+		for cur != source {
+			if cur == core.Nil {
+				return Violation{"spanning-tree",
+					fmt.Sprintf("host %d's ancestry ends at NIL", id)}, false
+			}
+			if steps > len(rt.TreeHosts) {
+				return Violation{"spanning-tree",
+					fmt.Sprintf("host %d's ancestry does not terminate (cycle)", id)}, false
+			}
+			cur = rt.TreeHosts[cur].Parent()
+			steps++
+		}
+	}
+	return Violation{}, true
+}
+
 // LeadersPerTrueCluster counts current leaders in every true cluster.
 func (rt *Runtime) LeadersPerTrueCluster() map[int]int {
 	truth := rt.Net.TrueClusters()

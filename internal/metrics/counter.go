@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for
+// concurrent use. The soak engine's worker pool tallies scenario
+// outcomes and protocol-level totals through counters while runs
+// complete on many goroutines at once.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// PerSecond converts a count accumulated over elapsed wall time into a
+// rate. It returns 0 for a non-positive elapsed, so callers can report
+// throughput without guarding degenerate timings.
+func PerSecond(n uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

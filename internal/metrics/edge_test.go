@@ -1,0 +1,120 @@
+package metrics_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rbcast/internal/metrics"
+)
+
+func TestDurationsSingleSample(t *testing.T) {
+	var d metrics.Durations
+	d.Add(7 * time.Millisecond)
+	want := 7 * time.Millisecond
+	if d.Count() != 1 {
+		t.Errorf("Count = %d, want 1", d.Count())
+	}
+	// With one sample, every summary statistic collapses to it.
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2} {
+		if got := d.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if d.Mean() != want || d.Min() != want || d.Max() != want || d.Median() != want {
+		t.Errorf("Mean/Min/Max/Median = %v/%v/%v/%v, want all %v",
+			d.Mean(), d.Min(), d.Max(), d.Median(), want)
+	}
+}
+
+func TestDurationsAllDuplicates(t *testing.T) {
+	var d metrics.Durations
+	for i := 0; i < 9; i++ {
+		d.Add(4 * time.Millisecond)
+	}
+	want := 4 * time.Millisecond
+	if d.Mean() != want || d.Min() != want || d.Max() != want {
+		t.Errorf("Mean/Min/Max = %v/%v/%v, want all %v", d.Mean(), d.Min(), d.Max(), want)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := d.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestDurationsQuantileBoundaries(t *testing.T) {
+	// Samples 10ms..100ms; nearest-rank on n-1 intervals.
+	var d metrics.Durations
+	for i := 10; i <= 100; i += 10 {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{-0.5, 10 * time.Millisecond}, // clamps to 0
+		{0, 10 * time.Millisecond},
+		{0.5, 60 * time.Millisecond}, // idx round(4.5) = 5
+		{0.99, 100 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{1.5, 100 * time.Millisecond}, // clamps to 1
+	}
+	for _, tc := range cases {
+		if got := d.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c metrics.Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero Counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Value = %d, want 42", c.Value())
+	}
+}
+
+// TestCounterConcurrent: the counter is the soak pool's shared progress
+// tally; concurrent increments must not lose updates (run under -race).
+func TestCounterConcurrent(t *testing.T) {
+	var c metrics.Counter
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("Value = %d, want %d", c.Value(), workers*each)
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	cases := []struct {
+		n       uint64
+		elapsed time.Duration
+		want    float64
+	}{
+		{100, time.Second, 100},
+		{100, 2 * time.Second, 50},
+		{0, time.Second, 0},
+		{100, 0, 0},  // zero elapsed guards the division
+		{100, -1, 0}, // negative elapsed likewise
+	}
+	for _, tc := range cases {
+		if got := metrics.PerSecond(tc.n, tc.elapsed); got != tc.want {
+			t.Errorf("PerSecond(%d, %v) = %v, want %v", tc.n, tc.elapsed, got, tc.want)
+		}
+	}
+}

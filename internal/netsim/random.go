@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Randomized topology material for the soak engine: link configurations
+// drawn from bounded distributions and extra links sprinkled over an
+// existing server graph. Everything here draws exclusively from the
+// caller's rng, so a seeded source reproduces the exact same network.
+
+// RandomLinkBounds bounds the distributions RandomLinkConfig draws from.
+type RandomLinkBounds struct {
+	// MinDelay and MaxDelay bound the base per-traversal latency.
+	MinDelay, MaxDelay time.Duration
+	// MaxLoss bounds the per-traversal loss probability.
+	MaxLoss float64
+	// MaxDup bounds the per-traversal duplication probability.
+	MaxDup float64
+}
+
+// DefaultCheapBounds are LAN-like: fast, mostly reliable.
+func DefaultCheapBounds() RandomLinkBounds {
+	return RandomLinkBounds{
+		MinDelay: 500 * time.Microsecond,
+		MaxDelay: 3 * time.Millisecond,
+		MaxLoss:  0.05,
+		MaxDup:   0.02,
+	}
+}
+
+// DefaultExpensiveBounds are long-haul-like: slow, lossier.
+func DefaultExpensiveBounds() RandomLinkBounds {
+	return RandomLinkBounds{
+		MinDelay: 10 * time.Millisecond,
+		MaxDelay: 45 * time.Millisecond,
+		MaxLoss:  0.10,
+		MaxDup:   0.03,
+	}
+}
+
+// RandomLinkConfig draws a link configuration of the given class from
+// rng, within bounds. Jitter is drawn in [0, delay], so reordering is
+// always possible but bounded by the base latency.
+func RandomLinkConfig(rng *rand.Rand, class LinkClass, b RandomLinkBounds) LinkConfig {
+	if b.MaxDelay < b.MinDelay {
+		b.MaxDelay = b.MinDelay
+	}
+	delay := b.MinDelay
+	if span := b.MaxDelay - b.MinDelay; span > 0 {
+		delay += time.Duration(rng.Int63n(int64(span) + 1))
+	}
+	return LinkConfig{
+		Class:    class,
+		Delay:    delay,
+		Jitter:   time.Duration(rng.Int63n(int64(delay) + 1)),
+		LossProb: rng.Float64() * b.MaxLoss,
+		DupProb:  rng.Float64() * b.MaxDup,
+	}
+}
+
+// AddRandomLinks joins count random distinct pairs from servers with
+// links of the given configuration, skipping self-pairs. Parallel links
+// between an already-joined pair are allowed (the network is a
+// multigraph); routing simply has more choices. It returns the created
+// link IDs in creation order.
+func (n *Network) AddRandomLinks(rng *rand.Rand, servers []ServerID, count int, cfg LinkConfig) ([]LinkID, error) {
+	if len(servers) < 2 || count <= 0 {
+		return nil, nil
+	}
+	out := make([]LinkID, 0, count)
+	for i := 0; i < count; i++ {
+		a := servers[rng.Intn(len(servers))]
+		b := servers[rng.Intn(len(servers))]
+		if a == b {
+			continue // tolerate the collision; fewer links, same determinism
+		}
+		id, err := n.AddLink(a, b, cfg)
+		if err != nil {
+			return out, fmt.Errorf("netsim: random link %d–%d: %w", a, b, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

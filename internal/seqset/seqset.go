@@ -148,17 +148,43 @@ func (s *Set) Add(q Seq) bool {
 }
 
 // AddRange inserts every member of [lo, hi]. It panics on an invalid
-// range (lo == 0 or lo > hi).
+// range (lo == 0 or lo > hi). The cost is O(log r + k) in the run count
+// r and absorbed runs k, never O(hi−lo): the wire decoder feeds
+// attacker-controlled intervals through here, and a frame advertising an
+// enormous range must not stall it.
 func (s *Set) AddRange(lo, hi Seq) {
 	if lo == 0 || lo > hi {
 		panic(fmt.Sprintf("seqset: invalid range [%d,%d]", lo, hi))
 	}
-	for q := lo; ; q++ {
-		s.Add(q)
-		if q == hi {
-			return
-		}
+	// First run that [lo, hi] can touch: Hi ≥ lo-1 (overlap or adjacency;
+	// lo ≥ 1 keeps the subtraction safe).
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi >= lo-1 })
+	if i == len(s.runs) {
+		s.runs = append(s.runs, Interval{Lo: lo, Hi: hi})
+		return
 	}
+	// Absorb every run starting at or before hi+1. A run at exactly hi+1
+	// is adjacent; when hi is the maximal Seq the hi+1 comparison is
+	// skipped (nothing can start beyond it anyway).
+	j := i
+	for j < len(s.runs) && (s.runs[j].Lo <= hi || (hi+1 != 0 && s.runs[j].Lo == hi+1)) {
+		if s.runs[j].Lo < lo {
+			lo = s.runs[j].Lo
+		}
+		if s.runs[j].Hi > hi {
+			hi = s.runs[j].Hi
+		}
+		j++
+	}
+	if i == j {
+		// No overlap: [lo, hi] is a standalone run before run i.
+		s.runs = append(s.runs, Interval{})
+		copy(s.runs[i+1:], s.runs[i:])
+		s.runs[i] = Interval{Lo: lo, Hi: hi}
+		return
+	}
+	s.runs[i] = Interval{Lo: lo, Hi: hi}
+	s.runs = append(s.runs[:i+1], s.runs[j:]...)
 }
 
 // Union adds every member of other to s.

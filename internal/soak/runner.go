@@ -1,0 +1,248 @@
+package soak
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rbcast/internal/harness"
+	"rbcast/internal/metrics"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Class selects the scenario family; default ClassMixed.
+	Class Class
+	// SeedStart is the first seed; Seeds is how many consecutive seeds
+	// to run (required, ≥ 1).
+	SeedStart int64
+	Seeds     int
+	// Workers sizes the pool; default GOMAXPROCS. Worker count never
+	// affects per-seed results, only wall time.
+	Workers int
+	// Budget bounds wall-clock time: once exceeded, no further seeds are
+	// dispatched (in-flight seeds finish). Zero means no bound.
+	Budget time.Duration
+	// Progress, if set, is called after each completed seed with running
+	// totals. Calls are serialized.
+	Progress func(done, failed int)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Class == "" {
+		c.Class = ClassMixed
+	}
+	if _, err := ParseClass(string(c.Class)); err != nil {
+		return c, err
+	}
+	if c.Seeds < 1 {
+		return c, fmt.Errorf("soak: Seeds = %d, want ≥ 1", c.Seeds)
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}
+
+// SeedReport is the outcome of one seeded scenario. Every field is a
+// pure function of (class, seed) — no wall-clock values — which is what
+// makes sweep output diffable across worker counts and machines.
+type SeedReport struct {
+	Seed       int64    `json:"seed"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+
+	Hosts    int `json:"hosts"`
+	Clusters int `json:"clusters"`
+	Messages int `json:"messages"`
+
+	Delivered int `json:"delivered"`
+	Expected  int `json:"expected"`
+	// CompleteAtMS is the virtual completion time; 0 when incomplete.
+	CompleteAtMS int64 `json:"complete_at_ms"`
+	MeanDelayUS  int64 `json:"mean_delay_us"`
+	P99DelayUS   int64 `json:"p99_delay_us"`
+
+	TotalSends uint64 `json:"total_sends"`
+	EventsRun  uint64 `json:"events_run"`
+
+	Spec Spec `json:"spec"`
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Class     Class        `json:"class"`
+	SeedStart int64        `json:"seed_start"`
+	Requested int          `json:"requested"`
+	Workers   int          `json:"workers"`
+	Reports   []SeedReport `json:"reports"`
+	// Elapsed is sweep wall time (not part of the deterministic per-seed
+	// data).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Failures returns the failing reports in seed order.
+func (s *Summary) Failures() []SeedReport {
+	var out []SeedReport
+	for _, r := range s.Reports {
+		if !r.Pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes the sweep. Seeds are dispatched in order to a pool of
+// workers; each worker builds its own engine per seed, so there is no
+// shared mutable state between scenarios and results only depend on the
+// seed.
+func Run(cfg Config) (*Summary, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	seedCh := make(chan int64)
+	// results is indexed by seed offset: distinct workers write distinct
+	// elements, so no lock is needed for the slice itself.
+	results := make([]*SeedReport, cfg.Seeds)
+	var done, failed metrics.Counter
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				r := RunSeed(cfg.Class, seed)
+				results[seed-cfg.SeedStart] = &r
+				done.Inc()
+				if !r.Pass {
+					failed.Inc()
+				}
+				if cfg.Progress != nil {
+					progressMu.Lock()
+					cfg.Progress(int(done.Value()), int(failed.Value()))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		if cfg.Budget > 0 && time.Since(start) > cfg.Budget {
+			break
+		}
+		seedCh <- cfg.SeedStart + int64(i)
+	}
+	close(seedCh)
+	wg.Wait()
+
+	sum := &Summary{
+		Class:     cfg.Class,
+		SeedStart: cfg.SeedStart,
+		Requested: cfg.Seeds,
+		Workers:   cfg.Workers,
+		Elapsed:   time.Since(start),
+	}
+	for _, r := range results {
+		if r != nil {
+			sum.Reports = append(sum.Reports, *r)
+		}
+	}
+	return sum, nil
+}
+
+// RunSeed generates and runs the scenario for one seed.
+func RunSeed(class Class, seed int64) SeedReport {
+	return RunSpec(NewSpec(class, seed))
+}
+
+// RunSpec runs one fully specified scenario: build, run to the horizon
+// (stopping early on completion), settle, check invariants. A failed
+// structural check gets one extra settle-and-recheck, so a tree caught
+// mid-reattachment is not misreported — the retry is itself
+// deterministic, part of the seed's defined computation.
+func RunSpec(sp Spec) SeedReport {
+	rep := SeedReport{
+		Seed:     sp.Seed,
+		Hosts:    sp.Hosts(),
+		Clusters: sp.Clusters,
+		Messages: sp.Messages,
+		Spec:     sp,
+	}
+	fail := func(format string, args ...any) SeedReport {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		return rep
+	}
+	sc, err := sp.Scenario()
+	if err != nil {
+		return fail("error: building scenario: %v", err)
+	}
+	rt, err := harness.Prepare(sc)
+	if err != nil {
+		return fail("error: preparing runtime: %v", err)
+	}
+	res, err := rt.Finish()
+	if err != nil {
+		return fail("error: running: %v", err)
+	}
+	settle := time.Duration(sp.SettleMS) * time.Millisecond
+	opts := harness.InvariantOptions{
+		RequireDelivery: true,
+		RequireTree:     sp.FinalConnected,
+	}
+	// Settling happens in small steps with an invariant check at each one,
+	// stopping at the first clean sample. Checking only once after a long
+	// settle would race against the protocol's normal self-healing: a
+	// burst of WAN loss can orphan a cluster leader (parent-silence
+	// timeout) at any quiescent instant, and the check would catch that
+	// transient state as a structural violation.
+	var violations []harness.Violation
+	stepSettle := func() error {
+		const steps = 20
+		for i := 0; i < steps; i++ {
+			if err := rt.Settle(settle / steps); err != nil {
+				return err
+			}
+			violations = rt.CheckInvariants(opts)
+			if len(violations) == 0 {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := stepSettle(); err != nil {
+		return fail("error: settling: %v", err)
+	}
+	// Convergence probes: the paper's attachment procedure assumes ongoing
+	// traffic — with every INFO set equal (quiescent tail), an orphaned
+	// leader has no eligible candidate until the next broadcast arrives. A
+	// probe message is that traffic. Genuine violations (a permanent
+	// partition, a duplicate delivery) survive every probe. The probe
+	// count depends only on deterministic simulation state, so per-seed
+	// results stay worker-count independent.
+	for attempt := 0; attempt < 3 && len(violations) > 0; attempt++ {
+		if err := rt.BroadcastNow([]byte("soak-probe")); err != nil {
+			return fail("error: probing: %v", err)
+		}
+		if err := stepSettle(); err != nil {
+			return fail("error: settling: %v", err)
+		}
+	}
+	res = rt.Finalize()
+	for _, v := range violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	rep.Pass = len(rep.Violations) == 0
+	rep.Delivered = res.DeliveredCount
+	rep.Expected = res.ExpectedCount
+	if res.Complete {
+		rep.CompleteAtMS = res.CompletionAt.Milliseconds()
+	}
+	rep.MeanDelayUS = res.Delays.Mean().Microseconds()
+	rep.P99DelayUS = res.Delays.Quantile(0.99).Microseconds()
+	rep.TotalSends = res.TotalSends()
+	rep.EventsRun = rt.Engine.EventsRun()
+	return rep
+}

@@ -1,0 +1,132 @@
+package soak
+
+// Shrinking: given a failing spec, greedily apply reductions — fewer
+// clusters, fewer hosts, fewer messages, shorter schedule, fewer extra
+// links — keeping each reduction only if the run still fails. The
+// result is a (locally) minimal scenario that reproduces the violation,
+// which is far easier to debug than a 16-host, 12-step original.
+
+// ShrinkResult is the outcome of a shrinking pass.
+type ShrinkResult struct {
+	// Spec is the smallest failing spec found.
+	Spec Spec `json:"spec"`
+	// Violations are the violations of the final spec.
+	Violations []string `json:"violations"`
+	// Attempts counts candidate runs tried.
+	Attempts int `json:"attempts"`
+	// Reduced reports whether any reduction survived.
+	Reduced bool `json:"reduced"`
+}
+
+// shrinkCandidates proposes reduced variants of sp, strongest first.
+// Every candidate is strictly smaller in at least one dimension, so the
+// greedy loop terminates.
+func shrinkCandidates(sp Spec) []Spec {
+	var out []Spec
+	with := func(mutate func(*Spec)) {
+		c := sp
+		// Steps is the only shared slice; copy before mutating.
+		c.Steps = append([]Step(nil), sp.Steps...)
+		mutate(&c)
+		out = append(out, c)
+	}
+	if sp.Clusters > 1 {
+		with(func(c *Spec) { c.Clusters = sp.Clusters / 2 })
+		if sp.Clusters/2 != sp.Clusters-1 {
+			with(func(c *Spec) { c.Clusters = sp.Clusters - 1 })
+		}
+	}
+	if sp.HostsPerCluster > 1 {
+		with(func(c *Spec) { c.HostsPerCluster = sp.HostsPerCluster / 2 })
+		if sp.HostsPerCluster/2 != sp.HostsPerCluster-1 {
+			with(func(c *Spec) { c.HostsPerCluster = sp.HostsPerCluster - 1 })
+		}
+	}
+	if sp.Messages > 1 {
+		with(func(c *Spec) { c.Messages = sp.Messages / 2 })
+		if sp.Messages/2 != sp.Messages-1 {
+			with(func(c *Spec) { c.Messages = sp.Messages - 1 })
+		}
+	}
+	if n := len(sp.Steps); n > 0 {
+		with(func(c *Spec) { c.Steps = c.Steps[:n/2] })
+		with(func(c *Spec) { c.Steps = c.Steps[n/2:] })
+		// Drop individual steps (front to back) for fine-grained trims.
+		for i := 0; i < n; i++ {
+			i := i
+			with(func(c *Spec) { c.Steps = append(c.Steps[:i], c.Steps[i+1:]...) })
+		}
+	}
+	if sp.ExtraCheapLinks > 0 {
+		with(func(c *Spec) { c.ExtraCheapLinks = 0 })
+	}
+	return out
+}
+
+// invariantNames extracts the stable invariant identifiers ("delivery",
+// "acyclic", …) from rendered violations.
+func invariantNames(violations []string) map[string]bool {
+	out := make(map[string]bool, len(violations))
+	for _, v := range violations {
+		name := v
+		for i := 0; i < len(v); i++ {
+			if v[i] == ':' {
+				name = v[:i]
+				break
+			}
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// sameFailure reports whether the candidate's violations hit at least
+// one invariant the original run hit — the shrinker must not wander off
+// to an unrelated failure mode.
+func sameFailure(orig map[string]bool, violations []string) bool {
+	for name := range invariantNames(violations) {
+		if orig[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink minimizes a failing spec. maxAttempts bounds the total number
+// of candidate runs (0 means a sensible default). The pass is greedy and
+// deterministic: candidates are tried in a fixed order and the first
+// candidate that still fails the same invariant restarts the search from
+// the smaller spec.
+func Shrink(sp Spec, maxAttempts int) ShrinkResult {
+	if maxAttempts <= 0 {
+		maxAttempts = 64
+	}
+	res := ShrinkResult{Spec: sp}
+	cur := RunSpec(sp)
+	res.Violations = cur.Violations
+	if cur.Pass {
+		return res // nothing to shrink
+	}
+	orig := invariantNames(cur.Violations)
+	for res.Attempts < maxAttempts {
+		improved := false
+		for _, cand := range shrinkCandidates(res.Spec) {
+			if res.Attempts >= maxAttempts {
+				break
+			}
+			res.Attempts++
+			r := RunSpec(cand)
+			if !r.Pass && sameFailure(orig, r.Violations) {
+				res.Spec = cand
+				res.Violations = r.Violations
+				res.Reduced = true
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,207 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke is the tier-1 entry point: a small sweep of the mixed
+// class must come back all-pass. Anything else is a protocol or
+// simulator regression.
+func TestSoakSmoke(t *testing.T) {
+	sum, err := Run(Config{Class: ClassMixed, SeedStart: 1, Seeds: 25})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := len(sum.Reports); got != 25 {
+		t.Fatalf("got %d reports, want 25", got)
+	}
+	for _, f := range sum.Failures() {
+		t.Errorf("seed %d failed: %v\n  replay: %s",
+			f.Seed, f.Violations, ReplayCommand(ClassMixed, f.Seed))
+	}
+	for _, r := range sum.Reports {
+		if r.Delivered == 0 || r.Expected == 0 {
+			t.Errorf("seed %d: empty delivery accounting (%d/%d)", r.Seed, r.Delivered, r.Expected)
+		}
+		if r.EventsRun == 0 {
+			t.Errorf("seed %d: zero simulation events", r.Seed)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers is the sharding guarantee: per-seed
+// results must be byte-identical no matter how many workers ran the
+// sweep.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		sum, err := Run(Config{Class: ClassChurn, SeedStart: 40, Seeds: 12, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		data, err := json.Marshal(sum.Reports)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	one := marshal(1)
+	four := marshal(4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("reports differ between 1 and 4 workers:\n1: %s\n4: %s", one, four)
+	}
+}
+
+// TestCSVDeterministic pins the other sweep artifact: the CSV byte
+// stream is a pure function of (class, seed range).
+func TestCSVDeterministic(t *testing.T) {
+	render := func(workers int) string {
+		sum, err := Run(Config{Class: ClassUniform, SeedStart: 7, Seeds: 6, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := sum.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return buf.String()
+	}
+	if a, b := render(1), render(3); a != b {
+		t.Fatalf("CSV differs between worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPartitionTrapCaught proves the engine catches a planted violation:
+// every partition-trap seed leaves one cluster permanently isolated, so
+// the delivery invariant must fail, the shrinker must reproduce the same
+// invariant on a reduced spec, and the replay command must name the
+// exact failing seed.
+func TestPartitionTrapCaught(t *testing.T) {
+	const seed = 3
+	rep := RunSeed(ClassPartitionTrap, seed)
+	if rep.Pass {
+		t.Fatalf("partition-trap seed %d passed; want delivery violation", seed)
+	}
+	if !hasInvariant(rep.Violations, "delivery") {
+		t.Fatalf("violations %v lack the delivery invariant", rep.Violations)
+	}
+
+	sh := Shrink(NewSpec(ClassPartitionTrap, seed), 48)
+	if !hasInvariant(sh.Violations, "delivery") {
+		t.Fatalf("shrunk violations %v lack the delivery invariant", sh.Violations)
+	}
+	if sh.Attempts == 0 {
+		t.Fatal("shrinker made no attempts")
+	}
+	if !sh.Reduced {
+		t.Fatalf("shrinker failed to reduce the trap spec (attempts=%d)", sh.Attempts)
+	}
+	orig := NewSpec(ClassPartitionTrap, seed)
+	if sh.Spec.Hosts() > orig.Hosts() || sh.Spec.Messages > orig.Messages {
+		t.Fatalf("shrunk spec grew: %d hosts/%d msgs vs %d/%d",
+			sh.Spec.Hosts(), sh.Spec.Messages, orig.Hosts(), orig.Messages)
+	}
+	// The shrunk spec must still be runnable and still fail.
+	if rerun := RunSpec(sh.Spec); rerun.Pass {
+		t.Fatal("shrunk spec passes on rerun")
+	}
+
+	cmd := ReplayCommand(ClassPartitionTrap, seed)
+	for _, want := range []string{"rbsoak", "-class partition-trap", "-seeds 3", "-count 1", "-workers 1"} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("replay command %q lacks %q", cmd, want)
+		}
+	}
+	// And the replay path (RunSeed on the named class and seed) must
+	// reproduce the failure, violation for violation.
+	again := RunSeed(ClassPartitionTrap, seed)
+	if again.Pass {
+		t.Fatal("replay passed")
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestBudgetStopsDispatch: an exhausted budget stops feeding seeds to
+// the pool but never truncates in-flight work.
+func TestBudgetStopsDispatch(t *testing.T) {
+	sum, err := Run(Config{Class: ClassUniform, SeedStart: 1, Seeds: 500, Workers: 2, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(sum.Reports) >= 500 {
+		t.Fatalf("budget of 1ns ran all %d seeds", len(sum.Reports))
+	}
+	for _, r := range sum.Reports {
+		if !r.Pass {
+			t.Errorf("seed %d failed: %v", r.Seed, r.Violations)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Class: ClassUniform}); err == nil {
+		t.Error("Run with zero Seeds succeeded")
+	}
+	if _, err := Run(Config{Class: Class("nope"), Seeds: 1}); err == nil {
+		t.Error("Run with unknown class succeeded")
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(string(c))
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+}
+
+// TestSpecStable pins the generator: a spec is a pure function of
+// (class, seed), and distinct seeds explore distinct scenarios.
+func TestSpecStable(t *testing.T) {
+	a, _ := json.Marshal(NewSpec(ClassMixed, 99))
+	b, _ := json.Marshal(NewSpec(ClassMixed, 99))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("NewSpec not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	c, _ := json.Marshal(NewSpec(ClassMixed, 100))
+	if bytes.Equal(a, c) {
+		t.Fatal("seeds 99 and 100 generated identical specs")
+	}
+}
+
+// TestTrapSpecShape: every trap spec plants a permanent partition and
+// declares itself disconnected.
+func TestTrapSpecShape(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sp := NewSpec(ClassPartitionTrap, seed)
+		if sp.FinalConnected {
+			t.Errorf("seed %d: trap spec claims FinalConnected", seed)
+		}
+		if len(sp.Steps) != 1 || sp.Steps[0].Kind != StepIsolateCluster {
+			t.Errorf("seed %d: trap steps = %v", seed, sp.Steps)
+		}
+		if sp.Steps[0].Index == 0 {
+			t.Errorf("seed %d: trap isolates the source cluster", seed)
+		}
+	}
+}
+
+func hasInvariant(violations []string, name string) bool {
+	for _, v := range violations {
+		if strings.HasPrefix(v, name+":") {
+			return true
+		}
+	}
+	return false
+}

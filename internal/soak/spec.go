@@ -1,0 +1,394 @@
+// Package soak is a deterministic, parallel scenario-sweep engine. It
+// generates seeded random broadcast scenarios — topology shape, cheap
+// and expensive link mix, host placement, failure/recovery schedules,
+// message workload, protocol parameters — shards them across a worker
+// pool (one sim.Engine per worker, no shared state), runs each to
+// convergence, and checks the full harness invariant suite after every
+// run. Failing seeds are shrunk to a minimal reproducing spec and
+// reported with a replay command line.
+//
+// Everything downstream of a seed is a pure function of that seed, so
+// per-seed results are byte-identical regardless of worker count.
+package soak
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/harness"
+	"rbcast/internal/netsim"
+	"rbcast/internal/sim"
+	"rbcast/internal/topo"
+)
+
+// Class selects a scenario family.
+type Class string
+
+const (
+	// ClassUniform is a static random lossy topology: no scheduled
+	// failures, just link-level loss, duplication, and reordering.
+	ClassUniform Class = "uniform"
+	// ClassChurn cuts and restores random WAN links and host access
+	// links while the workload runs.
+	ClassChurn Class = "churn"
+	// ClassPartition isolates whole clusters and heals them later.
+	ClassPartition Class = "partition"
+	// ClassMixed draws from all of the above.
+	ClassMixed Class = "mixed"
+	// ClassPartitionTrap deliberately violates the protocol's operating
+	// assumptions: a cluster is partitioned and never healed, with a
+	// short time budget. Every seed must fail the delivery invariant —
+	// the class exists to prove the soak engine catches, shrinks, and
+	// reports violations.
+	ClassPartitionTrap Class = "partition-trap"
+)
+
+// Classes lists every scenario class.
+func Classes() []Class {
+	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap}
+}
+
+// ParseClass resolves a class name.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if string(c) == s {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("soak: unknown class %q (have %v)", s, Classes())
+}
+
+// LinkSpec is a JSON-friendly netsim.LinkConfig.
+type LinkSpec struct {
+	DelayUS  int64   `json:"delay_us"`
+	JitterUS int64   `json:"jitter_us"`
+	Loss     float64 `json:"loss"`
+	Dup      float64 `json:"dup"`
+}
+
+func linkSpecOf(cfg netsim.LinkConfig) LinkSpec {
+	return LinkSpec{
+		DelayUS:  cfg.Delay.Microseconds(),
+		JitterUS: cfg.Jitter.Microseconds(),
+		Loss:     cfg.LossProb,
+		Dup:      cfg.DupProb,
+	}
+}
+
+func (l LinkSpec) config(class netsim.LinkClass) netsim.LinkConfig {
+	return netsim.LinkConfig{
+		Class:    class,
+		Delay:    time.Duration(l.DelayUS) * time.Microsecond,
+		Jitter:   time.Duration(l.JitterUS) * time.Microsecond,
+		LossProb: l.Loss,
+		DupProb:  l.Dup,
+	}
+}
+
+// StepKind names a scheduled scenario action.
+type StepKind string
+
+const (
+	// StepCutWAN takes WAN link (Index mod #WAN-links) down.
+	StepCutWAN StepKind = "cut-wan"
+	// StepRestoreWAN brings that WAN link back up.
+	StepRestoreWAN StepKind = "restore-wan"
+	// StepHostDown cuts host Index's access link (never the source).
+	StepHostDown StepKind = "host-down"
+	// StepHostUp restores host Index's access link.
+	StepHostUp StepKind = "host-up"
+	// StepIsolateCluster cuts every WAN link touching cluster
+	// (Index mod #clusters).
+	StepIsolateCluster StepKind = "isolate-cluster"
+	// StepHealCluster restores every WAN link touching that cluster.
+	StepHealCluster StepKind = "heal-cluster"
+)
+
+// Step is one scheduled failure/recovery action.
+type Step struct {
+	AtMS  int64    `json:"at_ms"`
+	Kind  StepKind `json:"kind"`
+	Index int      `json:"index"`
+}
+
+// Spec fully describes one scenario. It is the unit the shrinker
+// minimizes: Scenario() turns it into a runnable harness scenario
+// deterministically, so two equal specs produce identical runs.
+type Spec struct {
+	Class string `json:"class"`
+	Seed  int64  `json:"seed"`
+
+	Clusters        int    `json:"clusters"`
+	HostsPerCluster int    `json:"hosts_per_cluster"`
+	Shape           string `json:"shape"`
+	ExtraCheapLinks int    `json:"extra_cheap_links"`
+
+	Cheap     LinkSpec `json:"cheap"`
+	Expensive LinkSpec `json:"expensive"`
+	HostLink  LinkSpec `json:"host_link"`
+
+	Messages      int   `json:"messages"`
+	MsgIntervalMS int64 `json:"msg_interval_ms"`
+	PayloadSize   int   `json:"payload_size"`
+	DrainMS       int64 `json:"drain_ms"`
+	SettleMS      int64 `json:"settle_ms"`
+
+	ParamScale   float64 `json:"param_scale"`
+	GapFillBatch int     `json:"gap_fill_batch"`
+	Piggyback    bool    `json:"piggyback"`
+	PruneStable  bool    `json:"prune_stable"`
+
+	Steps []Step `json:"steps,omitempty"`
+
+	// FinalConnected reports whether the schedule leaves the network
+	// whole, which is when the spanning/cluster-tree invariants apply.
+	FinalConnected bool `json:"final_connected"`
+}
+
+// Hosts returns the total participant count.
+func (sp Spec) Hosts() int { return sp.Clusters * sp.HostsPerCluster }
+
+var wanShapes = map[string]topo.WANShape{
+	"star": topo.WANStar, "chain": topo.WANChain, "tree": topo.WANTree,
+	"mesh": topo.WANMesh, "ring": topo.WANRing,
+}
+
+var shapeNames = []string{"star", "chain", "tree", "mesh", "ring"}
+
+// specRNG derives the generator's random source. The class participates
+// so different classes explore different scenarios at the same seed.
+func specRNG(class Class, seed int64) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", class, seed)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func randMS(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// NewSpec generates the scenario for (class, seed). The draw ranges are
+// deliberately conservative for the non-trap classes: every failure is
+// paired with a recovery well before the horizon, loss stays within the
+// bounds the protocol's periodic machinery can repair, and the drain is
+// generous — so a failing seed indicates a protocol or simulator bug,
+// not an impossible scenario.
+func NewSpec(class Class, seed int64) Spec {
+	rng := specRNG(class, seed)
+	sp := Spec{
+		Class: string(class),
+		Seed:  seed,
+	}
+	needsPartition := class == ClassPartition || class == ClassPartitionTrap
+	if needsPartition {
+		sp.Clusters = 2 + rng.Intn(3) // 2..4: something to partition
+	} else {
+		sp.Clusters = 1 + rng.Intn(4) // 1..4
+	}
+	sp.HostsPerCluster = 1 + rng.Intn(4) // 1..4
+	sp.Shape = shapeNames[rng.Intn(len(shapeNames))]
+	sp.ExtraCheapLinks = rng.Intn(3)
+
+	sp.Cheap = linkSpecOf(netsim.RandomLinkConfig(rng, netsim.Cheap, netsim.DefaultCheapBounds()))
+	sp.Expensive = linkSpecOf(netsim.RandomLinkConfig(rng, netsim.Expensive, netsim.DefaultExpensiveBounds()))
+	sp.HostLink = linkSpecOf(netsim.RandomLinkConfig(rng, netsim.Cheap, netsim.RandomLinkBounds{
+		MinDelay: 200 * time.Microsecond,
+		MaxDelay: time.Millisecond,
+		MaxLoss:  0.02,
+		MaxDup:   0.01,
+	}))
+
+	sp.Messages = 4 + rng.Intn(20)
+	sp.MsgIntervalMS = randMS(rng, 80, 280)
+	sp.PayloadSize = 16 + rng.Intn(240)
+	sp.DrainMS = randMS(rng, 25_000, 40_000)
+	sp.SettleMS = 5_000
+
+	sp.ParamScale = 0.5 + 1.5*rng.Float64()
+	sp.GapFillBatch = 16 + rng.Intn(113)
+	sp.Piggyback = rng.Intn(2) == 0
+	sp.PruneStable = rng.Intn(2) == 0
+
+	churn := class == ClassChurn || (class == ClassMixed && rng.Intn(2) == 0)
+	partition := class == ClassPartition || (class == ClassMixed && rng.Intn(2) == 0)
+	if churn {
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			cut := randMS(rng, 2_000, 12_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: cut, Kind: StepCutWAN, Index: rng.Intn(16)},
+				Step{AtMS: cut + randMS(rng, 1_000, 6_000), Kind: StepRestoreWAN, Index: 0})
+			// Restore targets the same link: Index is patched below.
+			sp.Steps[len(sp.Steps)-1].Index = sp.Steps[len(sp.Steps)-2].Index
+		}
+		if sp.Hosts() > 1 && rng.Intn(2) == 0 {
+			// Crash a non-source host (Index is a position in Topology.Hosts;
+			// position 0 is the source) and bring it back.
+			victim := 1 + rng.Intn(sp.Hosts()-1)
+			down := randMS(rng, 2_000, 10_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: down, Kind: StepHostDown, Index: victim},
+				Step{AtMS: down + randMS(rng, 500, 4_000), Kind: StepHostUp, Index: victim})
+		}
+	}
+	if partition {
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			c := rng.Intn(sp.Clusters)
+			at := randMS(rng, 2_000, 8_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: at, Kind: StepIsolateCluster, Index: c},
+				Step{AtMS: at + randMS(rng, 2_000, 8_000), Kind: StepHealCluster, Index: c})
+		}
+	}
+	sp.FinalConnected = true
+	if class == ClassPartitionTrap {
+		// Permanent partition of a non-source cluster before the workload
+		// starts, and far too little drain for a cure that cannot come.
+		sp.Steps = []Step{{
+			AtMS: randMS(rng, 1_000, 2_500), Kind: StepIsolateCluster,
+			Index: 1 + rng.Intn(sp.Clusters-1),
+		}}
+		sp.DrainMS = randMS(rng, 3_000, 5_000)
+		sp.FinalConnected = false
+	}
+	return sp
+}
+
+// params derives the protocol tuning from the spec: the reference
+// tuning with every period scaled by ParamScale (ratios — and therefore
+// Params.Validate constraints — are preserved).
+func (sp Spec) params() core.Params {
+	p := core.DefaultParams()
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * sp.ParamScale)
+	}
+	p.TickInterval = scale(p.TickInterval)
+	p.AttachPeriod = scale(p.AttachPeriod)
+	p.InfoClusterPeriod = scale(p.InfoClusterPeriod)
+	p.InfoRemotePeriod = scale(p.InfoRemotePeriod)
+	p.InfoGlobalPeriod = scale(p.InfoGlobalPeriod)
+	p.GapClusterPeriod = scale(p.GapClusterPeriod)
+	p.GapRemotePeriod = scale(p.GapRemotePeriod)
+	p.GapGlobalPeriod = scale(p.GapGlobalPeriod)
+	p.AttachTimeout = scale(p.AttachTimeout)
+	p.ParentTimeout = scale(p.ParentTimeout)
+	if sp.GapFillBatch > 0 {
+		p.GapFillBatch = sp.GapFillBatch
+	}
+	p.Piggyback = sp.Piggyback
+	p.PruneStable = sp.PruneStable
+	return p
+}
+
+// Scenario turns the spec into a runnable harness scenario. Step indices
+// are interpreted modulo whatever the built topology actually has, so a
+// shrunk spec with out-of-range indices stays runnable.
+func (sp Spec) Scenario() (harness.Scenario, error) {
+	if sp.Clusters < 1 || sp.HostsPerCluster < 1 {
+		return harness.Scenario{}, fmt.Errorf("soak: empty topology %dx%d", sp.Clusters, sp.HostsPerCluster)
+	}
+	shape, ok := wanShapes[sp.Shape]
+	if !ok {
+		return harness.Scenario{}, fmt.Errorf("soak: unknown shape %q", sp.Shape)
+	}
+	if err := sp.params().Validate(); err != nil {
+		return harness.Scenario{}, err
+	}
+	// The source must carry the maximal static order: attachment's
+	// similar-INFO option only ever climbs the order, so with the default
+	// ID order a host in the source's cluster that drifted to a
+	// cross-cluster parent could never rejoin the source once all INFO
+	// sets equalize — leaving the root cluster with two stable leaders.
+	// Host IDs are 1..Hosts() with the source at 1.
+	order := make(map[core.HostID]int, sp.Hosts())
+	for i := 1; i <= sp.Hosts(); i++ {
+		order[core.HostID(i)] = i
+	}
+	order[1] = sp.Hosts() + 1
+	sc := harness.Scenario{
+		Name:  fmt.Sprintf("soak/%s/%d", sp.Class, sp.Seed),
+		Seed:  sp.Seed,
+		Order: order,
+		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+			t, err := topo.Clustered(eng, topo.ClusteredConfig{
+				Clusters:        sp.Clusters,
+				HostsPerCluster: sp.HostsPerCluster,
+				Shape:           shape,
+				Cheap:           sp.Cheap.config(netsim.Cheap),
+				Expensive:       sp.Expensive.config(netsim.Expensive),
+				HostLink:        sp.HostLink.config(netsim.Cheap),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sp.ExtraCheapLinks > 0 {
+				// Redundant intra-cluster links, from a build-local source so
+				// the engine's rng stream is untouched.
+				buildRNG := rand.New(rand.NewSource(sp.Seed ^ 0x5eed50a4))
+				for _, servers := range t.ServersByCluster {
+					if _, err := t.Net.AddRandomLinks(buildRNG, servers,
+						sp.ExtraCheapLinks, sp.Cheap.config(netsim.Cheap)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return t, nil
+		},
+		Protocol:         harness.ProtocolTree,
+		Params:           sp.params(),
+		Messages:         sp.Messages,
+		MsgInterval:      time.Duration(sp.MsgIntervalMS) * time.Millisecond,
+		PayloadSize:      sp.PayloadSize,
+		Drain:            time.Duration(sp.DrainMS) * time.Millisecond,
+		StopWhenComplete: true,
+	}
+	for _, st := range sp.Steps {
+		st := st
+		sc.Events = append(sc.Events, harness.TimedEvent{
+			At: time.Duration(st.AtMS) * time.Millisecond,
+			Do: func(rt *harness.Runtime) error { return applyStep(rt, st) },
+		})
+	}
+	return sc, nil
+}
+
+func applyStep(rt *harness.Runtime, st Step) error {
+	switch st.Kind {
+	case StepCutWAN, StepRestoreWAN:
+		links := rt.Topo.WANLinks
+		if len(links) == 0 {
+			return nil
+		}
+		return rt.Net.SetLinkUp(links[st.Index%len(links)], st.Kind == StepRestoreWAN)
+	case StepHostDown, StepHostUp:
+		hosts := rt.Topo.Hosts
+		if len(hosts) == 0 {
+			return nil
+		}
+		h := hosts[st.Index%len(hosts)]
+		if h == rt.Topo.Source {
+			return nil // never crash the source: delivery would be unjudgeable
+		}
+		return rt.Net.SetHostLinkUp(h, st.Kind == StepHostUp)
+	case StepIsolateCluster:
+		_, err := rt.Topo.IsolateCluster(st.Index % maxInt(1, len(rt.Topo.HostsByCluster)))
+		return err
+	case StepHealCluster:
+		c := st.Index % maxInt(1, len(rt.Topo.HostsByCluster))
+		return rt.Topo.RestoreLinks(rt.Topo.WANLinksOfCluster(c))
+	default:
+		return fmt.Errorf("soak: unknown step kind %q", st.Kind)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -56,6 +56,36 @@ func TestBufferMinimumCapacity(t *testing.T) {
 	}
 }
 
+// TestBufferBoundedOnLongStream wraps the ring many times over: memory
+// stays capped at capacity, Entries stays oldest-first and contiguous
+// with the stream tail, and the counters keep the full history.
+func TestBufferBoundedOnLongStream(t *testing.T) {
+	const capacity, stream = 7, 1000
+	b := trace.NewBuffer(capacity)
+	for i := 1; i <= stream; i++ {
+		b.Add(entry(core.HostID(i), core.EvAccepted, uint64(i)))
+	}
+	if b.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", b.Len(), capacity)
+	}
+	if b.Total() != stream {
+		t.Errorf("Total = %d, want %d", b.Total(), stream)
+	}
+	if got := b.CountByKind(core.EvAccepted); got != stream {
+		t.Errorf("CountByKind = %d, want %d", got, stream)
+	}
+	got := b.Entries()
+	if len(got) != capacity {
+		t.Fatalf("Entries returned %d, want %d", len(got), capacity)
+	}
+	for i, e := range got {
+		if want := uint64(stream - capacity + 1 + i); e.Seq != want {
+			t.Errorf("entry %d seq = %d, want %d (newest %d kept, oldest first)",
+				i, e.Seq, want, capacity)
+		}
+	}
+}
+
 func TestCountByKind(t *testing.T) {
 	b := trace.NewBuffer(2) // smaller than the stream: counters must survive eviction
 	for i := 0; i < 4; i++ {
