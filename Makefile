@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check soak fuzz clean
+.PHONY: all build vet test race check soak fuzz fuzz-smoke clean
 
 all: check
 
@@ -27,6 +27,7 @@ soak: build
 	$(GO) run ./cmd/rbsoak -class churn -count 500
 	$(GO) run ./cmd/rbsoak -class partition -count 500
 	$(GO) run ./cmd/rbsoak -class mixed -count 500
+	$(GO) run ./cmd/rbsoak -class recovery -count 500
 
 # fuzz gives each fuzz target a short budget; raise -fuzztime for real
 # campaigns.
@@ -34,6 +35,11 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=$(FUZZTIME) ./internal/live/
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire/
+
+# fuzz-smoke is the CI-sized fuzz budget: long enough to shake out
+# shallow decoder regressions, short enough for every pull request.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=20s
 
 clean:
 	$(GO) clean ./...

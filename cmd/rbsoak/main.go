@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rbcast/internal/soak"
 )
@@ -28,9 +29,19 @@ func main() {
 	os.Exit(run())
 }
 
+// classList renders the registered classes for the -class usage string,
+// so new classes show up in -h without touching this file.
+func classList() string {
+	names := make([]string, 0, len(soak.Classes()))
+	for _, c := range soak.Classes() {
+		names = append(names, string(c))
+	}
+	return strings.Join(names, "|")
+}
+
 func run() int {
 	var (
-		class   = flag.String("class", "mixed", "scenario class: uniform|churn|partition|mixed|partition-trap")
+		class   = flag.String("class", "mixed", "scenario class: "+classList())
 		seeds   = flag.Int64("seeds", 1, "first seed of the sweep")
 		count   = flag.Int("count", 1000, "number of consecutive seeds to run")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores)")

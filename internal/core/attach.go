@@ -27,7 +27,7 @@ import (
 // periodic activation (which clears the excluded set) as opposed to an
 // immediate retry after a timeout or rejection.
 func (h *Host) runAttachment(now time.Duration, fresh bool) {
-	if h.IsSource() || h.attach.inProgress {
+	if h.IsSource() || h.attach.inProgress || h.attach.exhausted {
 		return
 	}
 	if fresh {
@@ -36,13 +36,19 @@ func (h *Host) runAttachment(now time.Duration, fresh bool) {
 	var cand HostID
 	switch {
 	case h.parent == Nil:
-		cand = h.pickCaseI()
+		cand = h.pickCaseI(now)
 	case !h.cluster[h.parent]:
-		cand = h.pickCaseII()
+		cand = h.pickCaseII(now)
 	default:
 		cand = h.pickCaseIII(now)
 	}
 	if cand == Nil {
+		// A timeout/reject retry chain that has run out of candidates has
+		// excluded every option; re-sweeping each AttachPeriod buys
+		// nothing until new evidence (any inbound message) arrives.
+		if !fresh {
+			h.attach.exhausted = true
+		}
 		return
 	}
 	h.attach.inProgress = true
@@ -56,9 +62,13 @@ func (h *Host) runAttachment(now time.Duration, fresh bool) {
 
 // eligible applies the filters common to every option: never self, never
 // the current parent (re-attaching is a no-op), never an excluded
-// candidate, and never a host whose INFO (per MAP) is smaller than ours.
-func (h *Host) eligible(j HostID) bool {
+// candidate, never a suspected peer still inside its backoff window, and
+// never a host whose INFO (per MAP) is smaller than ours.
+func (h *Host) eligible(now time.Duration, j HostID) bool {
 	if j == h.id || j == h.parent || h.attach.excluded[j] {
+		return false
+	}
+	if h.suppressed(now, j) {
 		return false
 	}
 	return seqset.LessOrSimilar(h.info, h.maps[j])
@@ -96,40 +106,40 @@ func (h *Host) best(cands []HostID) HostID {
 }
 
 // pickCaseI implements Case I (host currently without a parent).
-func (h *Host) pickCaseI() HostID {
+func (h *Host) pickCaseI(now time.Duration) HostID {
 	// Option 1: a same-cluster leader with a strictly greater INFO set.
-	if j := h.optSameClusterLeaderGreater(); j != Nil {
+	if j := h.optSameClusterLeaderGreater(now); j != Nil {
 		return j
 	}
 	// Option 2: a same-cluster leader with a similar INFO set and a
 	// greater static order.
-	if j := h.optSameClusterLeaderSimilarHigherOrder(); j != Nil {
+	if j := h.optSameClusterLeaderSimilarHigherOrder(now); j != Nil {
 		return j
 	}
 	// Option 3: a host in a different cluster with a greater INFO set.
-	return h.optOtherClusterGreaterThan(h.info)
+	return h.optOtherClusterGreaterThan(now, h.info)
 }
 
 // pickCaseII implements Case II (parent in a different cluster — the
 // host is a cluster leader).
-func (h *Host) pickCaseII() HostID {
+func (h *Host) pickCaseII(now time.Duration) HostID {
 	// Options 1 and 2 are Case I's: prefer rejoining the cluster's tree.
-	if j := h.optSameClusterLeaderGreater(); j != Nil {
+	if j := h.optSameClusterLeaderGreater(now); j != Nil {
 		return j
 	}
-	if j := h.optSameClusterLeaderSimilarHigherOrder(); j != Nil {
+	if j := h.optSameClusterLeaderSimilarHigherOrder(now); j != Nil {
 		return j
 	}
 	// Option 3: a host in a different cluster whose INFO exceeds the
 	// current parent's — the delay-chasing rule, which also detects a
 	// disconnected parent whose INFO view falls behind.
-	return h.optOtherClusterGreaterThan(h.maps[h.parent])
+	return h.optOtherClusterGreaterThan(now, h.maps[h.parent])
 }
 
-func (h *Host) optSameClusterLeaderGreater() HostID {
+func (h *Host) optSameClusterLeaderGreater(now time.Duration) HostID {
 	var cands []HostID
 	for _, j := range h.Cluster() {
-		if j == h.id || !h.eligible(j) {
+		if j == h.id || !h.eligible(now, j) {
 			continue
 		}
 		if h.viewsAsLeader(j) && seqset.Less(h.info, h.maps[j]) {
@@ -139,10 +149,10 @@ func (h *Host) optSameClusterLeaderGreater() HostID {
 	return h.best(cands)
 }
 
-func (h *Host) optSameClusterLeaderSimilarHigherOrder() HostID {
+func (h *Host) optSameClusterLeaderSimilarHigherOrder(now time.Duration) HostID {
 	var cands []HostID
 	for _, j := range h.Cluster() {
-		if j == h.id || !h.eligible(j) {
+		if j == h.id || !h.eligible(now, j) {
 			continue
 		}
 		if h.viewsAsLeader(j) && seqset.Similar(h.info, h.maps[j]) && h.order[h.id] < h.order[j] {
@@ -152,10 +162,10 @@ func (h *Host) optSameClusterLeaderSimilarHigherOrder() HostID {
 	return h.best(cands)
 }
 
-func (h *Host) optOtherClusterGreaterThan(bar seqset.Set) HostID {
+func (h *Host) optOtherClusterGreaterThan(now time.Duration, bar seqset.Set) HostID {
 	var cands []HostID
 	for _, j := range h.peers {
-		if h.cluster[j] || !h.eligible(j) {
+		if h.cluster[j] || !h.eligible(now, j) {
 			continue
 		}
 		if seqset.Less(bar, h.maps[j]) {
@@ -180,12 +190,12 @@ func (h *Host) pickCaseIII(now time.Duration) HostID {
 			h.parent = Nil
 			h.emit(old, Message{Kind: MsgDetach})
 			h.event(now, EvCycleBroken, old, 0)
-			return h.pickCaseI()
+			return h.pickCaseI(now)
 		}
 		return Nil
 	}
 	for _, j := range chain {
-		if j == h.parent || !h.eligible(j) {
+		if j == h.parent || !h.eligible(now, j) {
 			continue
 		}
 		if h.cluster[j] && h.viewsAsLeader(j) && seqset.LessOrSimilar(h.info, h.maps[j]) {

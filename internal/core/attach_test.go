@@ -349,10 +349,18 @@ func TestExclusionsClearOnFreshActivation(t *testing.T) {
 	if n := len(env.ofKind(core.MsgAttachReq)); n != 1 {
 		t.Fatalf("requests = %d, want 1 (no second candidate)", n)
 	}
-	// Next periodic activation clears exclusions: 5 is retried.
+	// The timeout exhausted every candidate; periodic activations are
+	// short-circuited until new evidence arrives.
 	h.Tick(2*time.Hour + 200*time.Millisecond + 2*time.Hour)
+	if n := len(env.ofKind(core.MsgAttachReq)); n != 1 {
+		t.Errorf("requests = %d with exhausted candidates, want 1", n)
+	}
+	// Any inbound message is new evidence; the next fresh activation
+	// clears exclusions and retries 5.
+	infoFrom(h, 2*time.Hour+200*time.Millisecond+2*time.Hour, 5, true, 8, core.Nil)
+	h.Tick(2*time.Hour + 200*time.Millisecond + 4*time.Hour)
 	if n := len(env.ofKind(core.MsgAttachReq)); n != 2 {
-		t.Errorf("requests = %d after fresh activation, want 2", n)
+		t.Errorf("requests = %d after new evidence, want 2", n)
 	}
 }
 

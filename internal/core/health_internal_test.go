@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/seqset"
+)
+
+// White-box coverage of the backoff arithmetic: growth, cap, and the
+// deterministic seeded jitter.
+
+func delayHost(t *testing.T, seed int64) *Host {
+	t.Helper()
+	p := DefaultParams()
+	p.BackoffBase = time.Second
+	p.BackoffMax = 8 * time.Second
+	p.BackoffMultiplier = 2
+	p.SuspicionAfter = 2
+	h, err := NewHost(Config{
+		ID: 2, Source: 1, Peers: []HostID{1, 2, 3},
+		Params: p, JitterSeed: seed,
+	}, nopEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+type nopEnv struct{}
+
+func (nopEnv) Send(HostID, Message)       {}
+func (nopEnv) Deliver(seqset.Seq, []byte) {}
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	h := delayHost(t, 42)
+	prev := time.Duration(0)
+	for f := 2; f <= 8; f++ {
+		d := h.backoffDelay(3, f)
+		// Jitter subtracts at most a quarter: the delay stays within
+		// (3/4·nominal, nominal] and never exceeds BackoffMax.
+		nominal := time.Second << (f - 2)
+		if nominal > 8*time.Second {
+			nominal = 8 * time.Second
+		}
+		if d > nominal || d <= nominal*3/4 {
+			t.Errorf("failures=%d: delay %v outside (3/4·%v, %v]", f, d, nominal, nominal)
+		}
+		if f <= 5 && d <= prev {
+			t.Errorf("failures=%d: delay %v did not grow past %v", f, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffDelayDeterministicPerSeed(t *testing.T) {
+	a, b := delayHost(t, 7), delayHost(t, 7)
+	for f := 2; f <= 6; f++ {
+		if da, db := a.backoffDelay(3, f), b.backoffDelay(3, f); da != db {
+			t.Errorf("failures=%d: same seed gave %v and %v", f, da, db)
+		}
+	}
+	// Different coordinates should (for this seed) desynchronize peers.
+	h := delayHost(t, 7)
+	if h.backoffDelay(1, 4) == h.backoffDelay(3, 4) {
+		t.Error("jitter identical across peers; hosts would re-probe in lockstep")
+	}
+}
+
+func TestJitterHashIgnoresNothing(t *testing.T) {
+	base := jitterHash(1, 2, 3, 4)
+	for name, v := range map[string]uint64{
+		"seed":     jitterHash(2, 2, 3, 4),
+		"self":     jitterHash(1, 9, 3, 4),
+		"peer":     jitterHash(1, 2, 9, 4),
+		"failures": jitterHash(1, 2, 3, 9),
+	} {
+		if v == base {
+			t.Errorf("jitterHash insensitive to %s", name)
+		}
+	}
+}

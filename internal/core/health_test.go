@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+)
+
+// backoffParams returns quiet params with the health layer enabled:
+// suspicion after 2 consecutive probe failures, 10 s base backoff.
+func backoffParams() core.Params {
+	p := quietParams()
+	p.BackoffBase = 10 * time.Second
+	p.BackoffMax = 80 * time.Second
+	p.BackoffMultiplier = 2
+	p.SuspicionAfter = 2
+	return p
+}
+
+// eventHost builds a host that records protocol events.
+func eventHost(t *testing.T, id core.HostID, params core.Params, env core.Env) (*core.Host, *[]core.Event) {
+	t.Helper()
+	var events []core.Event
+	h, err := core.NewHost(core.Config{
+		ID:       id,
+		Source:   1,
+		Peers:    []core.HostID{1, 2, 3, 4, 5},
+		Params:   params,
+		Observer: func(e core.Event) { events = append(events, e) },
+	}, env)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	h.Start(0)
+	return h, &events
+}
+
+func eventsOfKind(events []core.Event, k core.EventKind) []core.Event {
+	var out []core.Event
+	for _, e := range events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// suspectPeer5 drives host 2 through two attach-ack timeouts toward host
+// 5 (the only candidate), with a gossip message from non-candidate host 4
+// between them to clear attach exhaustion. Returns the time of the second
+// timeout, at which host 5 became suspected.
+func suspectPeer5(t *testing.T, h *core.Host, env *fakeEnv) time.Duration {
+	t.Helper()
+	// Host 5: out of cluster, greater INFO — the only attach candidate.
+	infoFrom(h, time.Hour, 5, true, 8, core.Nil)
+	h.Tick(2 * time.Hour) // periodic activation: attach req to 5
+	if n := len(env.ofKind(core.MsgAttachReq)); n != 1 {
+		t.Fatalf("setup: attach requests = %d, want 1", n)
+	}
+	h.Tick(2*time.Hour + 400*time.Millisecond) // ack timeout: failure #1
+	// Gossip from host 4 (out of cluster, empty INFO — not a candidate)
+	// is the new evidence that lets the procedure re-run.
+	infoFrom(h, 2*time.Hour+time.Second, 4, true, 0, core.Nil)
+	h.Tick(4 * time.Hour) // fresh activation: retry 5
+	if n := len(env.ofKind(core.MsgAttachReq)); n != 2 {
+		t.Fatalf("setup: attach requests = %d after retry, want 2", n)
+	}
+	at := 4*time.Hour + 400*time.Millisecond
+	h.Tick(at) // ack timeout: failure #2 → suspected
+	return at
+}
+
+func TestBackoffDisabledByZeroParams(t *testing.T) {
+	if core.DefaultParams().BackoffEnabled() {
+		t.Fatal("DefaultParams has backoff enabled")
+	}
+	env := &fakeEnv{}
+	h, events := eventHost(t, 2, quietParams(), env)
+	suspectPeer5(t, h, env)
+	if got := eventsOfKind(*events, core.EvPeerSuspected); len(got) != 0 {
+		t.Errorf("suspected events with layer disabled: %v", got)
+	}
+	if ph := h.PeerHealthOf(5); ph.Suspected {
+		t.Errorf("peer 5 suspected with layer disabled: %+v", ph)
+	}
+	if n := h.SuppressedSends(); n != 0 {
+		t.Errorf("suppressed sends = %d with layer disabled", n)
+	}
+}
+
+func TestSuspicionAfterConsecutiveAttachTimeouts(t *testing.T) {
+	env := &fakeEnv{}
+	h, events := eventHost(t, 2, backoffParams(), env)
+	at := suspectPeer5(t, h, env)
+
+	if got := eventsOfKind(*events, core.EvPeerSuspected); len(got) != 1 || got[0].Peer != 5 {
+		t.Fatalf("suspected events = %v, want one for host 5", got)
+	}
+	ph := h.PeerHealthOf(5)
+	if !ph.Suspected || ph.Failures < 2 {
+		t.Errorf("health of 5 = %+v, want suspected with ≥ 2 failures", ph)
+	}
+	if ph.NextContact <= at {
+		t.Errorf("NextContact = %v, want armed past %v", ph.NextContact, at)
+	}
+	if got := h.SuspectedPeers(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("SuspectedPeers = %v, want [5]", got)
+	}
+	// One failure alone must not suspect.
+	if got := eventsOfKind(*events, core.EvPeerSuspected); got[0].At <= 2*time.Hour+400*time.Millisecond {
+		t.Errorf("suspected already at first failure: %v", got)
+	}
+}
+
+func TestBackoffGatesAttachRetries(t *testing.T) {
+	env := &fakeEnv{}
+	h, _ := eventHost(t, 2, backoffParams(), env)
+	suspectPeer5(t, h, env)
+
+	// New evidence clears exhaustion, but 5 is inside its backoff window:
+	// the fresh activation must skip it.
+	infoFrom(h, 4*time.Hour+500*time.Millisecond, 4, true, 0, core.Nil)
+	h.Tick(4*time.Hour + time.Second)
+	if n := len(env.ofKind(core.MsgAttachReq)); n != 2 {
+		t.Fatalf("attach requests = %d inside backoff window, want 2", n)
+	}
+	// Past NextContact the candidate is eligible again.
+	next := h.PeerHealthOf(5).NextContact
+	h.Tick(next + time.Hour) // next periodic activation after the window
+	if n := len(env.ofKind(core.MsgAttachReq)); n != 3 {
+		t.Errorf("attach requests = %d past backoff window, want 3", n)
+	}
+}
+
+func TestBackoffGatesGlobalInfoAndRearms(t *testing.T) {
+	p := backoffParams()
+	p.InfoGlobalPeriod = 100 * time.Millisecond
+	env := &fakeEnv{}
+	h, _ := eventHost(t, 2, p, env)
+	at := suspectPeer5(t, h, env)
+
+	// The same tick that recorded the second failure also fired the
+	// periodic global INFO (period 100 ms): host 5 must have been gated.
+	if n := h.SuppressedSends(); n == 0 {
+		t.Error("no suppressed sends while 5 inside backoff window")
+	}
+	infoTo5 := func() int {
+		n := 0
+		for _, s := range env.ofKind(core.MsgInfo) {
+			if s.to == 5 {
+				n++
+			}
+		}
+		return n
+	}
+	before := infoTo5()
+	h.Tick(at + 50*time.Millisecond) // still gated (backoff ≥ 7.5 s)
+	if got := infoTo5(); got != before {
+		t.Errorf("info to 5 = %d inside window, want %d", got, before)
+	}
+	// Past NextContact the probe goes out and the window re-arms.
+	next := h.PeerHealthOf(5).NextContact
+	h.Tick(next + 100*time.Millisecond)
+	if got := infoTo5(); got != before+1 {
+		t.Errorf("info to 5 = %d past window, want %d", got, before+1)
+	}
+	if re := h.PeerHealthOf(5).NextContact; re <= next {
+		t.Errorf("NextContact not re-armed after gated probe: %v ≤ %v", re, next)
+	}
+}
+
+func TestRecoveryClearsSuspicionAndBurstsResync(t *testing.T) {
+	env := &fakeEnv{}
+	h, events := eventHost(t, 2, backoffParams(), env)
+	at := suspectPeer5(t, h, env)
+
+	// The suspected peer answers: suspicion clears at message latency.
+	infoFrom(h, at+time.Second, 5, true, 9, core.Nil)
+	if got := eventsOfKind(*events, core.EvPeerRecovered); len(got) != 1 || got[0].Peer != 5 {
+		t.Fatalf("recovered events = %v, want one for host 5", got)
+	}
+	if ph := h.PeerHealthOf(5); ph.Suspected || ph.Failures != 0 {
+		t.Errorf("health of 5 after recovery = %+v, want cleared", ph)
+	}
+	// The next tick owes 5 a fast-resync burst: an INFO exchange now, not
+	// at the next periodic INFO instant.
+	env.reset()
+	h.Tick(at + time.Second + 25*time.Millisecond)
+	var gotInfo bool
+	for _, s := range env.ofKind(core.MsgInfo) {
+		if s.to == 5 {
+			gotInfo = true
+		}
+	}
+	if !gotInfo {
+		t.Errorf("no resync INFO to recovered peer; sent = %v", env.sent)
+	}
+	if n := h.ResyncBursts(); n != 1 {
+		t.Errorf("ResyncBursts = %d, want 1", n)
+	}
+}
+
+func TestBackoffParamsValidation(t *testing.T) {
+	base := core.DefaultParams()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	ok := base.WithBackoff()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("WithBackoff params invalid: %v", err)
+	}
+	if !ok.BackoffEnabled() {
+		t.Error("WithBackoff not enabled")
+	}
+	cases := map[string]func(*core.Params){
+		"suspicion without base": func(p *core.Params) { p.SuspicionAfter = 2 },
+		"max below base":         func(p *core.Params) { p.BackoffMax = p.BackoffBase / 2 },
+		"multiplier below one":   func(p *core.Params) { p.BackoffMultiplier = 0.5 },
+		"zero suspicion":         func(p *core.Params) { p.SuspicionAfter = 0 },
+	}
+	for name, mutate := range cases {
+		p := ok
+		if name == "suspicion without base" {
+			p = base
+		}
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}

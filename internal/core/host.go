@@ -57,6 +57,14 @@ type Host struct {
 
 	attach attachState
 
+	// health is the per-peer liveness tracker (see health.go). Records
+	// are kept regardless of Params, but only gate traffic when the
+	// backoff fields are set.
+	health          map[HostID]*peerHealth
+	jitterSeed      int64
+	resyncBursts    uint64
+	suppressedSends uint64
+
 	// outbox buffers sends within one activation when Params.Piggyback is
 	// set; activationDepth guards against double-flushing on reentrant
 	// entry points.
@@ -80,6 +88,11 @@ type attachState struct {
 	// excluded holds candidates that timed out or rejected during the
 	// current procedure run; cleared at each periodic activation.
 	excluded map[HostID]bool
+	// exhausted is set when a retry sweep runs out of candidates; while
+	// set, further activations are skipped until new evidence (any
+	// received message) arrives, so an unreachable host does not burn a
+	// full candidate sweep every AttachPeriod.
+	exhausted bool
 }
 
 // NewHost constructs a host. The returned host is idle until Start.
@@ -115,14 +128,16 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 		params:    cfg.Params,
 		env:       env,
 		observer:  cfg.Observer,
-		store:     make(map[seqset.Seq][]byte),
-		maps:      make(map[HostID]seqset.Set),
-		confirmed: make(map[HostID]seqset.Set),
-		parentOf:  make(map[HostID]HostID),
-		cluster:   map[HostID]bool{cfg.ID: true},
-		children:  make(map[HostID]bool),
-		parent:    Nil,
-		nextSeq:   1,
+		store:      make(map[seqset.Seq][]byte),
+		maps:       make(map[HostID]seqset.Set),
+		confirmed:  make(map[HostID]seqset.Set),
+		parentOf:   make(map[HostID]HostID),
+		cluster:    map[HostID]bool{cfg.ID: true},
+		children:   make(map[HostID]bool),
+		parent:     Nil,
+		nextSeq:    1,
+		health:     make(map[HostID]*peerHealth),
+		jitterSeed: cfg.JitterSeed,
 	}
 	if cfg.Params.ClusterMode != ClusterNone {
 		for _, p := range cfg.InitialCluster {
@@ -336,6 +351,10 @@ func (h *Host) HandleMessage(now time.Duration, from HostID, costBit bool, m Mes
 	h.begin()
 	defer h.end()
 	h.observeCostBit(from, costBit)
+	h.noteHeard(now, from)
+	// Any inbound message is new evidence; an exhausted attachment
+	// procedure may be worth re-running.
+	h.attach.exhausted = false
 	if from == h.parent {
 		h.lastFromParent = now
 	}
@@ -492,6 +511,7 @@ func (h *Host) Tick(now time.Duration) {
 	// Attach handshake timeout.
 	if h.attach.inProgress && now >= h.attach.deadline {
 		h.event(now, EvAttachFailed, h.attach.candidate, 0)
+		h.noteProbeFailure(now, h.attach.candidate)
 		h.attach.excluded[h.attach.candidate] = true
 		h.attach.inProgress = false
 		// §4.2: on ack timeout the procedure is repeated immediately to
@@ -501,9 +521,12 @@ func (h *Host) Tick(now time.Duration) {
 	// Parent-silence timeout (§4.3): set parent to NIL and search anew.
 	if !h.IsSource() && h.parent != Nil && now-h.lastFromParent > h.params.ParentTimeout {
 		h.event(now, EvParentTimeout, h.parent, 0)
+		h.noteProbeFailure(now, h.parent)
 		h.parent = Nil
 		h.runAttachment(now, true)
 	}
+	// Fast-resync bursts owed to peers that answered while suspected.
+	h.flushResyncs(now)
 	if !h.IsSource() && now >= h.nextAttach {
 		h.nextAttach = now + h.params.AttachPeriod
 		h.runAttachment(now, true)
@@ -518,7 +541,7 @@ func (h *Host) Tick(now time.Duration) {
 	}
 	if now >= h.nextInfoGlobal {
 		h.nextInfoGlobal = now + h.params.InfoGlobalPeriod
-		h.sendInfoGlobal()
+		h.sendInfoGlobal(now)
 	}
 	if now >= h.nextGapLocal {
 		h.nextGapLocal = now + h.params.GapClusterPeriod
@@ -538,7 +561,7 @@ func (h *Host) Tick(now time.Duration) {
 	}
 	if now >= h.nextGapGlobal {
 		h.nextGapGlobal = now + h.params.GapGlobalPeriod
-		h.gapFillGlobal()
+		h.gapFillGlobal(now)
 	}
 	if h.params.PruneStable {
 		h.pruneStable()
@@ -573,7 +596,7 @@ func (h *Host) sendInfoRemoteNeighbors() {
 // sendInfoGlobal is the leaders-only advertisement to all non-cluster,
 // non-neighbour hosts; it is what lets detached fragments discover each
 // other and what lets leaders find better parents (Case II option 3).
-func (h *Host) sendInfoGlobal() {
+func (h *Host) sendInfoGlobal(now time.Duration) {
 	if !h.IsLeader() && !h.IsSource() {
 		return
 	}
@@ -582,7 +605,13 @@ func (h *Host) sendInfoGlobal() {
 		if j == h.id || h.cluster[j] || h.isNeighbor(j) {
 			continue
 		}
+		if h.suppressed(now, j) {
+			h.suppressedSends++
+			continue
+		}
+		h.noteProbeSent(now, j)
 		h.emit(j, m)
+		h.touchSuspect(now, j)
 	}
 }
 
@@ -590,11 +619,11 @@ func (h *Host) sendInfoGlobal() {
 // holds and the target's MAP entry lacks. For hosts we do not parent,
 // only sequence numbers below the target's known maximum are sent —
 // anything higher would be discarded by the receiver's §4.1 rule.
-func (h *Host) fillGapsOf(j HostID) {
+func (h *Host) fillGapsOf(j HostID) int {
 	their := h.maps[j]
 	missing := h.info.Diff(their)
 	if missing.Empty() {
-		return
+		return 0
 	}
 	isChild := h.children[j]
 	limit := h.params.GapFillBatch
@@ -612,12 +641,13 @@ func (h *Host) fillGapsOf(j HostID) {
 		sent++
 		return sent < limit
 	})
+	return sent
 }
 
 // gapFillGlobal is the §4.4 non-neighbour gap fill: leaders scan all
 // known hosts outside their cluster and outside the parent graph
 // neighbourhood, filling what they can.
-func (h *Host) gapFillGlobal() {
+func (h *Host) gapFillGlobal(now time.Duration) {
 	if h.params.DisableNonNeighborGapFill {
 		return
 	}
@@ -628,7 +658,15 @@ func (h *Host) gapFillGlobal() {
 		if j == h.id || h.cluster[j] || h.isNeighbor(j) {
 			continue
 		}
-		h.fillGapsOf(j)
+		if h.suppressed(now, j) {
+			h.suppressedSends++
+			continue
+		}
+		// Re-arm the backoff window only when traffic actually went out;
+		// an empty fill must not silently push the next probe further.
+		if h.fillGapsOf(j) > 0 {
+			h.touchSuspect(now, j)
+		}
 	}
 }
 

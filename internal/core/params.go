@@ -110,6 +110,41 @@ type Params struct {
 	// argues the extension is necessary, and the F4.1 experiment
 	// demonstrates it by running with and without.
 	DisableNonNeighborGapFill bool
+
+	// BackoffBase enables the per-peer health layer when positive: a
+	// peer that fails SuspicionAfter consecutive probes (attach-ack
+	// timeouts, parent-silence timeouts) becomes suspected, and
+	// backoff-gated control traffic toward it (attach attempts, leader
+	// global INFO probes, global gap fills) is sent no more often than
+	// an exponentially growing interval starting at BackoffBase. Zero
+	// disables the layer entirely; all scheduling is then exactly the
+	// fixed-rate behavior of the plain paper protocol.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff interval.
+	BackoffMax time.Duration
+	// BackoffMultiplier grows the interval per failure past the
+	// threshold (≥ 1; 2 doubles).
+	BackoffMultiplier float64
+	// SuspicionAfter is the consecutive-failure count at which a peer
+	// becomes suspected (≥ 1 when the layer is enabled).
+	SuspicionAfter int
+}
+
+// BackoffEnabled reports whether the per-peer health/backoff layer is
+// active. The zero value of the backoff fields leaves scheduling
+// byte-identical to the fixed-rate protocol.
+func (p Params) BackoffEnabled() bool { return p.BackoffBase > 0 }
+
+// WithBackoff returns p with the health/backoff layer enabled at the
+// reference tuning: suspicion after 2 consecutive probe failures,
+// backoff starting at InfoGlobalPeriod, doubling, capped at 8× the
+// base.
+func (p Params) WithBackoff() Params {
+	p.BackoffBase = p.InfoGlobalPeriod
+	p.BackoffMax = 8 * p.InfoGlobalPeriod
+	p.BackoffMultiplier = 2
+	p.SuspicionAfter = 2
+	return p
 }
 
 // DefaultParams returns the reference tuning, sized for the simulator's
@@ -162,6 +197,20 @@ func (p Params) Validate() error {
 	if p.ParentTimeout <= p.InfoClusterPeriod {
 		return errors.New("core: ParentTimeout must exceed InfoClusterPeriod or in-cluster parents flap")
 	}
+	if p.BackoffBase != 0 || p.BackoffMax != 0 || p.BackoffMultiplier != 0 || p.SuspicionAfter != 0 {
+		if p.BackoffBase <= 0 {
+			return fmt.Errorf("core: BackoffBase must be positive when backoff is configured, got %v", p.BackoffBase)
+		}
+		if p.BackoffMax < p.BackoffBase {
+			return fmt.Errorf("core: BackoffMax %v must be ≥ BackoffBase %v", p.BackoffMax, p.BackoffBase)
+		}
+		if p.BackoffMultiplier < 1 {
+			return fmt.Errorf("core: BackoffMultiplier must be ≥ 1, got %v", p.BackoffMultiplier)
+		}
+		if p.SuspicionAfter < 1 {
+			return fmt.Errorf("core: SuspicionAfter must be ≥ 1, got %d", p.SuspicionAfter)
+		}
+	}
 	return nil
 }
 
@@ -184,6 +233,10 @@ type Config struct {
 	InitialCluster []HostID
 	// Params tunes the protocol; zero value means DefaultParams.
 	Params Params
+	// JitterSeed seeds the deterministic backoff jitter. Runtimes that
+	// care about reproducibility (the simulation harness) pass their
+	// scenario seed; zero is a valid seed.
+	JitterSeed int64
 	// Observer receives protocol events; may be nil.
 	Observer Observer
 }

@@ -46,6 +46,7 @@ func TestEventKindStrings(t *testing.T) {
 		core.EvAccepted, core.EvDuplicate, core.EvRejected, core.EvAttached,
 		core.EvAttachFailed, core.EvParentTimeout, core.EvCycleBroken,
 		core.EvChildAdded, core.EvChildRemoved,
+		core.EvPeerSuspected, core.EvPeerRecovered,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

@@ -145,6 +145,12 @@ const (
 	// EvChildRemoved: a child detached (or was pruned via parent-pointer
 	// gossip).
 	EvChildRemoved
+	// EvPeerSuspected: a peer crossed the consecutive-probe-failure
+	// threshold; backoff now gates control traffic toward it.
+	EvPeerSuspected
+	// EvPeerRecovered: a message arrived from a suspected peer; the
+	// suspicion cleared and a fast-resync burst was scheduled.
+	EvPeerRecovered
 )
 
 // String implements fmt.Stringer.
@@ -168,6 +174,10 @@ func (k EventKind) String() string {
 		return "child-added"
 	case EvChildRemoved:
 		return "child-removed"
+	case EvPeerSuspected:
+		return "peer-suspected"
+	case EvPeerRecovered:
+		return "peer-recovered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -53,6 +53,7 @@ func All() []Runner {
 		{ID: "E9", Title: "§6 ablation — dynamic vs. static vs. no cluster knowledge", Run: ClusterKnowledge},
 		{ID: "E10", Title: "§6 optimization — piggybacking control messages", Run: Piggyback},
 		{ID: "E11", Title: "§2 composition — multiple sources as parallel single-source protocols", Run: MultiSource},
+		{ID: "E12", Title: "robustness — fixed-rate vs. backoff probing across a long partition", Run: BackoffRecovery},
 	}
 }
 

@@ -395,6 +395,7 @@ func (rt *Runtime) buildTree() error {
 			Order:          s.Order,
 			Params:         s.Params,
 			InitialCluster: staticClusters[id],
+			JitterSeed:     s.Seed,
 			Observer:       obs,
 		}, treeEnv{rt: rt, id: id})
 		if err != nil {

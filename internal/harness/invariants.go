@@ -127,7 +127,8 @@ func (rt *Runtime) InducesClusterTree() (bool, string) {
 // failures across thousands of runs.
 type Violation struct {
 	// Invariant is a stable identifier ("acyclic", "spanning-tree",
-	// "cluster-tree", "delivery", "duplicates", "send-errors").
+	// "cluster-tree", "delivery", "duplicates", "send-errors",
+	// "backoff-liveness").
 	Invariant string
 	// Detail explains the specific failure.
 	Detail string
@@ -162,6 +163,11 @@ func (rt *Runtime) CheckInvariants(opts InvariantOptions) []Violation {
 	if res.SendErrors != 0 {
 		out = append(out, Violation{"send-errors",
 			fmt.Sprintf("%d rejected sends", res.SendErrors)})
+	}
+	if rt.TreeHosts != nil && rt.scenario.Params.BackoffEnabled() {
+		if v, ok := rt.checkBackoffLiveness(); !ok {
+			out = append(out, v)
+		}
 	}
 	if rt.TreeHosts != nil {
 		if v, ok := rt.checkAcyclicSorted(); !ok {

@@ -83,6 +83,14 @@ type Result struct {
 	// message kind (both directions).
 	SourceLinkByKind map[string]uint64
 
+	// ResyncBursts totals fast-resync bursts across hosts (health layer).
+	ResyncBursts uint64
+	// SuppressedSends totals control sends skipped by backoff gating.
+	SuppressedSends uint64
+	// SuspectedPairs is the number of (host, peer) suspicions in force at
+	// the end of the run.
+	SuspectedPairs int
+
 	// FinalParents is the tree protocol's parent pointer per host at the
 	// end of the run.
 	FinalParents map[core.HostID]core.HostID
@@ -128,6 +136,9 @@ func (rt *Runtime) finalize() {
 		for id, h := range rt.TreeHosts {
 			res.FinalParents[id] = h.Parent()
 		}
+		res.ResyncBursts = rt.TotalResyncBursts()
+		res.SuppressedSends = rt.TotalSuppressedSends()
+		res.SuspectedPairs = rt.SuspectedPairs()
 	}
 }
 
@@ -227,6 +238,11 @@ func (r *Result) Summary() string {
 	t.AddRow("control sends", r.ControlSends())
 	t.AddRow("total sends", r.TotalSends())
 	t.AddRow("source host-link load", r.SourceHostLinkTransmissions)
+	if r.SuppressedSends > 0 || r.ResyncBursts > 0 || r.SuspectedPairs > 0 {
+		t.AddRow("suppressed sends", r.SuppressedSends)
+		t.AddRow("resync bursts", r.ResyncBursts)
+		t.AddRow("suspected pairs", r.SuspectedPairs)
+	}
 	kinds := make([]string, 0, len(r.SendsByKind))
 	for k := range r.SendsByKind {
 		kinds = append(kinds, k)

@@ -25,7 +25,8 @@ type FleetConfig struct {
 	Clusters [][]core.HostID
 	// Params tunes the protocol. The zero value uses LiveParams().
 	Params core.Params
-	// Seed drives the transport's randomness.
+	// Seed drives the transport's randomness and, via JitterSeed, the
+	// health layer's deterministic backoff jitter.
 	Seed int64
 	// OnDeliver, if set, observes every application delivery.
 	OnDeliver func(host core.HostID, stream core.HostID, seq seqset.Seq, payload []byte)
@@ -102,10 +103,11 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		id := id
 		env := &nodeEnv{fleet: f, id: id}
 		bus, err := multi.NewBus(multi.Config{
-			ID:      id,
-			Peers:   cfg.Hosts,
-			Sources: sources,
-			Params:  cfg.Params,
+			ID:         id,
+			Peers:      cfg.Hosts,
+			Sources:    sources,
+			Params:     cfg.Params,
+			JitterSeed: cfg.Seed,
 		}, env)
 		if err != nil {
 			f.Stop()

@@ -1,0 +1,115 @@
+package live_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/live"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (plus slack for runtime housekeeping) or the budget elapses,
+// returning the final count.
+func waitForGoroutines(baseline int, budget time.Duration) int {
+	deadline := time.Now().Add(budget)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWaitDeliveredTimesOut pins the wait path's failure mode: with no
+// traffic at all, WaitDelivered must return false close to its timeout —
+// the internal waker goroutine, not a delivery, unblocks the condition
+// variable so the deadline is honored.
+func TestWaitDeliveredTimesOut(t *testing.T) {
+	f := startFleet(t, live.FleetConfig{
+		Hosts:  []core.HostID{1, 2, 3},
+		Source: 1,
+		Seed:   11,
+	})
+	const timeout = 200 * time.Millisecond
+	start := time.Now()
+	if f.WaitDelivered(5, timeout) {
+		t.Fatal("WaitDelivered reported delivery with nothing broadcast")
+	}
+	elapsed := time.Since(start)
+	if elapsed < timeout {
+		t.Errorf("WaitDelivered returned after %v, before the %v timeout", elapsed, timeout)
+	}
+	if elapsed > timeout+5*time.Second {
+		t.Errorf("WaitDelivered took %v, far past the %v timeout", elapsed, timeout)
+	}
+	// The failed wait must not poison later ones: deliver for real and
+	// wait again.
+	if _, err := f.Broadcast([]byte("late")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if !f.WaitDelivered(1, waitBudget) {
+		t.Fatal("delivery wait failed after a timed-out wait")
+	}
+}
+
+// TestWaitWakerShutsDown pins the waker goroutine's lifecycle: every
+// wait (successful or timed out) must tear its waker down, so repeated
+// waits do not accumulate goroutines.
+func TestWaitWakerShutsDown(t *testing.T) {
+	f := startFleet(t, live.FleetConfig{
+		Hosts:  []core.HostID{1, 2},
+		Source: 1,
+		Seed:   12,
+	})
+	if _, err := f.Broadcast([]byte("x")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if !f.WaitDelivered(1, waitBudget) {
+		t.Fatal("initial delivery wait failed")
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if !f.WaitDelivered(1, waitBudget) {
+			t.Fatal("satisfied wait returned false")
+		}
+		if f.WaitDelivered(2, time.Millisecond) {
+			t.Fatal("wait for undelivered seq returned true")
+		}
+	}
+	if n := waitForGoroutines(baseline, 5*time.Second); n > baseline {
+		t.Errorf("goroutines grew from %d to %d across 100 waits — waker leak", baseline, n)
+	}
+}
+
+// TestFleetStopReleasesGoroutines: a stopped fleet must release every
+// node and transport goroutine, even with a wait in flight at stop time.
+func TestFleetStopReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	f, err := live.StartFleet(live.FleetConfig{
+		Hosts:  []core.HostID{1, 2, 3, 4, 5},
+		Source: 1,
+		Seed:   13,
+	})
+	if err != nil {
+		t.Fatalf("StartFleet: %v", err)
+	}
+	if _, err := f.Broadcast([]byte("x")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if !f.WaitDelivered(1, waitBudget) {
+		t.Fatal("delivery wait failed")
+	}
+	waiting := make(chan bool)
+	go func() { waiting <- f.WaitDelivered(100, 2*time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let the wait block
+	f.Stop()
+	if got := <-waiting; got {
+		t.Error("in-flight wait reported delivery after Stop")
+	}
+	if n := waitForGoroutines(baseline, 5*time.Second); n > baseline {
+		t.Errorf("goroutines at %d after Stop, baseline %d — node or transport leak", n, baseline)
+	}
+}

@@ -47,6 +47,9 @@ type Config struct {
 	Order map[core.HostID]int
 	// Observer receives protocol events from all instances; may be nil.
 	Observer core.Observer
+	// JitterSeed seeds the health layer's deterministic backoff jitter in
+	// every instance (relevant only when Params enables backoff).
+	JitterSeed int64
 }
 
 // Bus is one host's set of per-stream protocol instances. Like
@@ -88,12 +91,13 @@ func NewBus(cfg Config, env Env) (*Bus, error) {
 			return nil, fmt.Errorf("multi: duplicate source %d", src)
 		}
 		h, err := core.NewHost(core.Config{
-			ID:       cfg.ID,
-			Source:   src,
-			Peers:    cfg.Peers,
-			Order:    cfg.Order,
-			Params:   cfg.Params,
-			Observer: cfg.Observer,
+			ID:         cfg.ID,
+			Source:     src,
+			Peers:      cfg.Peers,
+			Order:      cfg.Order,
+			Params:     cfg.Params,
+			Observer:   cfg.Observer,
+			JitterSeed: cfg.JitterSeed,
 		}, instanceEnv{env: env, stream: src})
 		if err != nil {
 			return nil, fmt.Errorf("multi: stream %d: %w", src, err)

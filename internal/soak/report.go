@@ -62,7 +62,8 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"seed", "pass", "hosts", "clusters", "messages", "delivered", "expected",
 		"complete_at_ms", "mean_delay_us", "p99_delay_us", "total_sends",
-		"events_run", "violations",
+		"events_run", "unreachable_sends", "suppressed_sends", "resync_bursts",
+		"post_heal_ms", "violations",
 	}); err != nil {
 		return err
 	}
@@ -80,6 +81,10 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(r.P99DelayUS, 10),
 			strconv.FormatUint(r.TotalSends, 10),
 			strconv.FormatUint(r.EventsRun, 10),
+			strconv.FormatUint(r.UnreachableSends, 10),
+			strconv.FormatUint(r.SuppressedSends, 10),
+			strconv.FormatUint(r.ResyncBursts, 10),
+			strconv.FormatInt(r.PostHealMS, 10),
 			strings.Join(r.Violations, "; "),
 		}); err != nil {
 			return err

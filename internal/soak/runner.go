@@ -67,6 +67,14 @@ type SeedReport struct {
 	TotalSends uint64 `json:"total_sends"`
 	EventsRun  uint64 `json:"events_run"`
 
+	// Health-layer counters (nonzero only when the spec enables backoff).
+	UnreachableSends uint64 `json:"unreachable_sends,omitempty"`
+	ResyncBursts     uint64 `json:"resync_bursts,omitempty"`
+	SuppressedSends  uint64 `json:"suppressed_sends,omitempty"`
+	// PostHealMS is the delay between the last heal step and completion;
+	// 0 when the spec has no heal step or the run never completed.
+	PostHealMS int64 `json:"post_heal_ms,omitempty"`
+
 	Spec Spec `json:"spec"`
 }
 
@@ -244,5 +252,19 @@ func RunSpec(sp Spec) SeedReport {
 	rep.P99DelayUS = res.Delays.Quantile(0.99).Microseconds()
 	rep.TotalSends = res.TotalSends()
 	rep.EventsRun = rt.Engine.EventsRun()
+	rep.UnreachableSends = res.UnreachableSends
+	rep.ResyncBursts = res.ResyncBursts
+	rep.SuppressedSends = res.SuppressedSends
+	if rep.CompleteAtMS > 0 {
+		var lastHeal int64
+		for _, st := range sp.Steps {
+			if st.Kind == StepHealCluster && st.AtMS > lastHeal {
+				lastHeal = st.AtMS
+			}
+		}
+		if lastHeal > 0 && rep.CompleteAtMS > lastHeal {
+			rep.PostHealMS = rep.CompleteAtMS - lastHeal
+		}
+	}
 	return rep
 }

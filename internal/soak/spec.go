@@ -44,11 +44,15 @@ const (
 	// the class exists to prove the soak engine catches, shrinks, and
 	// reports violations.
 	ClassPartitionTrap Class = "partition-trap"
+	// ClassRecovery exercises the per-peer health layer: one long
+	// partition of a non-source cluster with backoff enabled, measuring
+	// probes wasted into the partition and post-heal convergence latency.
+	ClassRecovery Class = "recovery"
 )
 
 // Classes lists every scenario class.
 func Classes() []Class {
-	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap}
+	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap, ClassRecovery}
 }
 
 // ParseClass resolves a class name.
@@ -141,6 +145,14 @@ type Spec struct {
 	Piggyback    bool    `json:"piggyback"`
 	PruneStable  bool    `json:"prune_stable"`
 
+	// Backoff fields enable the core health layer when BackoffBaseMS is
+	// positive (the recovery class always sets them; other classes leave
+	// them zero, preserving fixed-rate scheduling).
+	BackoffBaseMS     int64   `json:"backoff_base_ms,omitempty"`
+	BackoffMaxMS      int64   `json:"backoff_max_ms,omitempty"`
+	BackoffMultiplier float64 `json:"backoff_multiplier,omitempty"`
+	SuspicionAfter    int     `json:"suspicion_after,omitempty"`
+
 	Steps []Step `json:"steps,omitempty"`
 
 	// FinalConnected reports whether the schedule leaves the network
@@ -185,7 +197,7 @@ func NewSpec(class Class, seed int64) Spec {
 		Class: string(class),
 		Seed:  seed,
 	}
-	needsPartition := class == ClassPartition || class == ClassPartitionTrap
+	needsPartition := class == ClassPartition || class == ClassPartitionTrap || class == ClassRecovery
 	if needsPartition {
 		sp.Clusters = 2 + rng.Intn(3) // 2..4: something to partition
 	} else {
@@ -256,6 +268,23 @@ func NewSpec(class Class, seed int64) Spec {
 		sp.DrainMS = randMS(rng, 3_000, 5_000)
 		sp.FinalConnected = false
 	}
+	if class == ClassRecovery {
+		// One long partition of a non-source cluster, healed well before
+		// the horizon, with the health layer enabled so probes toward the
+		// cut cluster back off and the heal is detected via fast resync.
+		c := 1 + rng.Intn(sp.Clusters-1)
+		cut := randMS(rng, 2_000, 5_000)
+		heal := cut + randMS(rng, 10_000, 20_000)
+		sp.Steps = []Step{
+			{AtMS: cut, Kind: StepIsolateCluster, Index: c},
+			{AtMS: heal, Kind: StepHealCluster, Index: c},
+		}
+		sp.DrainMS = heal + randMS(rng, 25_000, 40_000)
+		sp.BackoffBaseMS = randMS(rng, 400, 1200)
+		sp.BackoffMaxMS = sp.BackoffBaseMS * (4 + rng.Int63n(5)) // 4..8× base
+		sp.BackoffMultiplier = 1.5 + rng.Float64()               // 1.5..2.5
+		sp.SuspicionAfter = 1 + rng.Intn(3)                      // 1..3
+	}
 	return sp
 }
 
@@ -282,6 +311,12 @@ func (sp Spec) params() core.Params {
 	}
 	p.Piggyback = sp.Piggyback
 	p.PruneStable = sp.PruneStable
+	if sp.BackoffBaseMS > 0 {
+		p.BackoffBase = time.Duration(sp.BackoffBaseMS) * time.Millisecond
+		p.BackoffMax = time.Duration(sp.BackoffMaxMS) * time.Millisecond
+		p.BackoffMultiplier = sp.BackoffMultiplier
+		p.SuspicionAfter = sp.SuspicionAfter
+	}
 	return p
 }
 

@@ -121,6 +121,31 @@ func TestObserverBridge(t *testing.T) {
 	}
 }
 
+// TestHealthEventsFlowThrough pins the health layer's observability:
+// suspicion and recovery events ride the same observer bridge as every
+// other protocol event, render with their peer, and are countable.
+func TestHealthEventsFlowThrough(t *testing.T) {
+	b := trace.NewBuffer(10)
+	obs := b.Observer()
+	obs(core.Event{At: time.Second, Kind: core.EvPeerSuspected, Host: 2, Peer: 5})
+	obs(core.Event{At: 2 * time.Second, Kind: core.EvPeerRecovered, Host: 2, Peer: 5})
+	if got := b.CountByKind(core.EvPeerSuspected); got != 1 {
+		t.Errorf("CountByKind(suspected) = %d, want 1", got)
+	}
+	if got := b.CountByKind(core.EvPeerRecovered); got != 1 {
+		t.Errorf("CountByKind(recovered) = %d, want 1", got)
+	}
+	entries := b.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("Entries = %d, want 2", len(entries))
+	}
+	for i, want := range []string{"peer-suspected", "peer-recovered"} {
+		if s := entries[i].String(); !strings.Contains(s, want) || !strings.Contains(s, "peer=5") {
+			t.Errorf("entry %d String() = %q, want it to contain %q and peer=5", i, s, want)
+		}
+	}
+}
+
 func TestEntryString(t *testing.T) {
 	e := trace.Entry{At: 1500 * time.Microsecond, Host: 2, Kind: core.EvAccepted, Peer: 3, Seq: 9}
 	s := e.String()

@@ -1,0 +1,90 @@
+package udp_test
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/udp"
+	"rbcast/internal/wire"
+)
+
+// TestUDPStopUnderInboundFlood stops a node while several goroutines are
+// still slamming its socket with valid frames, truncated headers, and
+// garbage. Stop must return promptly (socket close unblocks the read
+// loop even mid-datagram), be safe to call again, and the node must not
+// panic or deadlock no matter how the flood interleaves with shutdown —
+// the race detector audits the handoff between readLoop and mainLoop.
+func TestUDPStopUnderInboundFlood(t *testing.T) {
+	node, err := udp.StartNode(udp.NodeConfig{
+		ID:     1,
+		Source: 1,
+		Peers:  map[core.HostID]string{1: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
+	target, err := net.ResolveUDPAddr("udp", node.Addr())
+	if err != nil {
+		t.Fatalf("resolving node addr: %v", err)
+	}
+
+	valid, err := wire.Encode(wire.Frame{
+		From:    2,
+		Message: core.Message{Kind: core.MsgInfo},
+	})
+	if err != nil {
+		t.Fatalf("encoding flood frame: %v", err)
+	}
+	datagrams := [][]byte{
+		append(binary.BigEndian.AppendUint64(nil, uint64(time.Now().UnixNano())), valid...),
+		{0x01, 0x02, 0x03},                    // shorter than the timestamp header
+		append(make([]byte, 8), 0xFF, 0xFF),   // valid header, undecodable frame
+		append(make([]byte, 8), valid[:2]...), // truncated frame
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.DialUDP("udp", nil, target)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			for !stop.Load() {
+				_, _ = conn.Write(datagrams[i%len(datagrams)])
+			}
+		}()
+	}
+
+	// Let the flood build up real inbound pressure, then stop mid-stream.
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		node.Stop()
+		node.Stop() // idempotent even under fire
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not return within 10s under inbound flood")
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if _, err := node.Broadcast([]byte("x")); err == nil {
+		t.Error("broadcast succeeded after stop")
+	}
+	if err := node.Inspect(func(*core.Host) {}); err == nil {
+		t.Error("inspect succeeded after stop")
+	}
+}
