@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check soak fuzz fuzz-smoke clean
+.PHONY: all build vet lint test race check soak fuzz fuzz-smoke clean
 
 all: check
 
@@ -10,15 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the protocol-aware analyzer suite (detlint, locklint,
+# paramlint, wirelint); see internal/analysis/README.md.
+lint:
+	$(GO) run ./cmd/rblint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the gate for every change: compile everything, lint with vet,
-# and run the full suite under the race detector.
-check: build vet race
+# check is the gate for every change: compile everything, lint with vet
+# and rblint, and run the full suite under the race detector.
+check: build vet lint race
 
 # soak runs a quick randomized sweep of every scenario class (the
 # partition-trap class is excluded: it fails by design).

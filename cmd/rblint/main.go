@@ -1,0 +1,54 @@
+// Command rblint runs the repository's protocol-aware static analysis
+// suite (internal/analysis) over the given package patterns and exits
+// non-zero when any finding survives the //rblint:ignore directives.
+//
+// Usage:
+//
+//	go run ./cmd/rblint ./...
+//	go run ./cmd/rblint internal/core internal/wire/...
+//
+// With no patterns, ./... is analyzed. See internal/analysis/README.md
+// for the analyzer catalog and the ignore-directive syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbcast/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rblint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rblint:", err)
+		os.Exit(2)
+	}
+	diags, fset, err := analysis.Run(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rblint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		analysis.Print(os.Stdout, fset, diags)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// RunPackage applies every analyzer to one loaded package and applies
+// the package's //rblint:ignore directives (parsed from its non-test
+// files) to the findings. Directive problems — missing reason, unknown
+// analyzer name, stale directive — come back as "rblint" diagnostics.
+func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	valid := make(map[string]bool)
+	for _, a := range analyzers {
+		valid[a.Name] = true
+	}
+	ignores, problems := parseIgnores(loader.Fset, pkg.Files, valid)
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			TestFiles: pkg.TestFiles,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Dir:       pkg.Dir,
+			ModRoot:   loader.ModRoot,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diagnostics...)
+	}
+	diags = applyIgnores(loader.Fset, ignores, diags)
+	diags = append(diags, problems...)
+	sortDiagnostics(loader.Fset, diags)
+	return diags, nil
+}
+
+// Run loads the packages matched by patterns (resolved relative to the
+// module containing dir) and applies the full analyzer suite to each.
+// It returns all surviving diagnostics and the FileSet to position them
+// with.
+func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(loader, pkg, Analyzers())
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(loader.Fset, all)
+	return all, loader.Fset, nil
+}
+
+// Print writes diagnostics in the conventional file:line:col format.
+func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus its test files.
+type Package struct {
+	Path      string // import path the package was checked under
+	Dir       string
+	Files     []*ast.File // non-test files, type-checked
+	TestFiles []*ast.File // _test.go files, parsed only
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks packages of this module using only the
+// standard library: module-internal imports are resolved against the
+// module root and checked from source; everything else goes through the
+// stdlib source importer. One Loader shares a package cache, so the
+// standard library and every module package are checked at most once.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// NewLoader creates a loader rooted at the module containing dir (the
+// nearest ancestor with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer consults go/build; with cgo disabled the
+	// pure-Go variants of std packages (net in particular) are selected,
+	// which is what the type checker can handle from source.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     std,
+		cache:   make(map[string]*Package),
+	}, nil
+}
+
+// findModRoot walks up from dir to the nearest go.mod.
+func findModRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// checked from source under the module root; everything else is
+// delegated to the stdlib source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg.Types, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.load(filepath.Join(l.ModRoot, filepath.FromSlash(rel)), path, true)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// Load loads and type-checks the package in dir. asPath overrides the
+// import path the package is checked under; empty derives it from the
+// directory's position in the module. Results for module-path packages
+// are cached and shared with dependency resolution.
+func (l *Loader) Load(dir, asPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if asPath == "" {
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModRoot)
+		}
+		asPath = l.ModPath
+		if rel != "." {
+			asPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	if pkg, ok := l.cache[asPath]; ok {
+		return pkg, nil
+	}
+	// Only packages whose checked path matches their on-disk location
+	// enter the shared cache; testdata packages checked under assumed
+	// paths must not shadow the real package for later importers.
+	cacheable := strings.HasPrefix(dir+"/", l.ModRoot+"/") &&
+		!strings.Contains(dir, string(filepath.Separator)+"testdata"+string(filepath.Separator))
+	return l.load(dir, asPath, cacheable)
+}
+
+func (l *Loader) load(dir, path string, cacheable bool) (*Package, error) {
+	astPkgs, err := parser.ParseDir(l.Fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parse %s: %w", dir, err)
+	}
+	var files, testFiles []*ast.File
+	var names, testNames []string
+	for _, p := range astPkgs {
+		for name := range p.Files {
+			if strings.HasSuffix(name, "_test.go") {
+				testNames = append(testNames, name)
+			} else {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(testNames)
+	lookup := func(name string) *ast.File {
+		for _, p := range astPkgs {
+			if f, ok := p.Files[name]; ok {
+				return f
+			}
+		}
+		return nil
+	}
+	for _, name := range names {
+		files = append(files, lookup(name))
+	}
+	for _, name := range testNames {
+		testFiles = append(testFiles, lookup(name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:      path,
+		Dir:       dir,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	if cacheable {
+		l.cache[path] = pkg
+	}
+	return pkg, nil
+}
+
+// LoadPatterns expands the given patterns relative to the module root
+// and loads every matched package. Supported patterns: "./...", a
+// directory path, or a directory path suffixed with "/...". Directories
+// named testdata, vendor, or starting with "." or "_" are skipped.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModRoot, dir)
+		}
+		if !recursive {
+			addDir(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ParamLint keeps the protocol tunables honest: in any package that
+// declares `type Params struct` with a Validate method, every exported
+// field must be (a) referenced inside Validate — an unvalidated tunable
+// silently accepts zero or garbage values — and (b) documented as a
+// `FieldName` row in the nearest README's table, so operators can find
+// it. Bool fields are exempt from the Validate requirement (both values
+// are valid by construction) but still need documentation.
+var ParamLint = &Analyzer{
+	Name: "paramlint",
+	Doc: "every exported Params field must be referenced in Validate() and " +
+		"documented in the README table",
+	Run: runParamLint,
+}
+
+func runParamLint(pass *Pass) error {
+	spec, strct := findParamsStruct(pass)
+	if spec == nil {
+		return nil
+	}
+	validate := findValidateMethod(pass)
+	if validate == nil {
+		return nil
+	}
+	referenced := fieldsReferenced(pass, validate)
+	readme, rows := readmeParamRows(pass)
+
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		pos := spec.Pos()
+		if af := fieldDeclPos(pass, spec, f.Name()); af.IsValid() {
+			pos = af
+		}
+		isBool := isBoolType(f.Type())
+		if !isBool && !referenced[f.Name()] {
+			pass.Reportf(pos,
+				"Params.%s is not referenced in Validate(): every non-bool tunable needs a range check "+
+					"(or an explicit acceptance)", f.Name())
+		}
+		if readme != "" && !rows[f.Name()] {
+			pass.Reportf(pos,
+				"Params.%s has no `%s` row in the %s Params table", f.Name(), f.Name(), readme)
+		}
+	}
+	return nil
+}
+
+// findParamsStruct locates `type Params struct` in the package.
+func findParamsStruct(pass *Pass) (*ast.TypeSpec, *types.Struct) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Params" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if strct, ok := obj.Type().Underlying().(*types.Struct); ok {
+					return ts, strct
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findValidateMethod locates the Validate method declared on Params (by
+// value or pointer receiver).
+func findValidateMethod(pass *Pass) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Validate" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == "Params" {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsReferenced collects the names of Params fields selected anywhere
+// inside Validate's body.
+func fieldsReferenced(pass *Pass, validate *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if validate.Body == nil {
+		return out
+	}
+	ast.Inspect(validate.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// fieldDeclPos finds the declaration position of a named field so the
+// diagnostic lands on the field, not the struct.
+func fieldDeclPos(pass *Pass, spec *ast.TypeSpec, name string) token.Pos {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return 0
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return n.Pos()
+			}
+		}
+	}
+	return 0
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// readmeParamRows finds the nearest README.md (package dir, walking up
+// to the module root) and extracts the set of field names that appear as
+// a table row of the form "| `Name` | ...". It returns the README path
+// relative to the module root and the row set; a missing README
+// disables the documentation check rather than flagging every field.
+func readmeParamRows(pass *Pass) (string, map[string]bool) {
+	dir := pass.Dir
+	for {
+		path := filepath.Join(dir, "README.md")
+		if data, err := os.ReadFile(path); err == nil {
+			rel, err := filepath.Rel(pass.ModRoot, path)
+			if err != nil {
+				rel = path
+			}
+			return filepath.ToSlash(rel), parseParamRows(string(data))
+		}
+		if dir == pass.ModRoot {
+			return "", nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir || !strings.HasPrefix(dir, pass.ModRoot) {
+			return "", nil
+		}
+		dir = parent
+	}
+}
+
+// parseParamRows extracts backticked first-cell names from markdown
+// table rows: "| `Name` | ..." → Name.
+func parseParamRows(text string) map[string]bool {
+	rows := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cell := strings.TrimSpace(strings.TrimPrefix(line, "|"))
+		if !strings.HasPrefix(cell, "`") {
+			continue
+		}
+		cell = cell[1:]
+		end := strings.IndexByte(cell, '`')
+		if end <= 0 {
+			continue
+		}
+		rows[cell[:end]] = true
+	}
+	return rows
+}

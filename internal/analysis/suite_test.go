@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rbcast/internal/analysis"
+	"rbcast/internal/analysis/analysistest"
+)
+
+// TestAnalyzers runs every analyzer over its testdata package. Each
+// package contains both triggering code (marked with `// want` comment
+// expectations) and non-triggering counterparts; analysistest fails on
+// any missing or unexpected diagnostic.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer *analysis.Analyzer
+		dir      string
+		// asPath is the import path the package is checked under; empty
+		// uses the real testdata path, which keeps the package outside
+		// path-scoped analyzers' jurisdiction.
+		asPath string
+	}{
+		{"detlint/deterministic-package", analysis.DetLint, "testdata/det", "rbcast/internal/core"},
+		{"detlint/out-of-scope-package", analysis.DetLint, "testdata/detclean", ""},
+		{"locklint", analysis.LockLint, "testdata/lock", ""},
+		{"paramlint", analysis.ParamLint, "testdata/param", ""},
+		{"wirelint", analysis.WireLint, "testdata/wire", ""},
+		{"ignore-directive", analysis.DetLint, "testdata/ignoretd", "rbcast/internal/core"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, tt.analyzer, tt.dir, tt.asPath)
+		})
+	}
+}

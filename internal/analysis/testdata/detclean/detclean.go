@@ -1,0 +1,25 @@
+// Package detclean holds code that would trip every detlint rule —
+// checked under its real (non-deterministic) path, where detlint must
+// stay silent.
+package detclean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClockIsFineHere() time.Time {
+	return time.Now()
+}
+
+func GlobalRandIsFineHere() int {
+	return rand.Int()
+}
+
+func Emit(string) {}
+
+func MapRangeIsFineHere(m map[int]string) {
+	for _, v := range m {
+		Emit(v)
+	}
+}

@@ -1,0 +1,24 @@
+// Package ignoretd exercises the //rblint:ignore escape hatch
+// end-to-end: the analyzer runs under a deterministic package path, and
+// a well-formed directive suppresses the finding on the next line.
+// (Malformed and stale directives are covered by unit tests in the
+// analysis package.)
+package ignoretd
+
+import "time"
+
+// justified: the directive below swallows the time.Now finding.
+func suppressed() time.Time {
+	//rblint:ignore detlint testdata: proving the escape hatch suppresses the next line
+	return time.Now()
+}
+
+// inline placement covers the directive's own line.
+func suppressedInline() time.Time {
+	return time.Now() //rblint:ignore detlint testdata: proving inline placement works
+}
+
+// an undirected finding still surfaces.
+func unsuppressed() time.Time {
+	return time.Now() // want `deterministic package calls time\.Now`
+}

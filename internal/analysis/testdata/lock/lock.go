@@ -1,0 +1,105 @@
+// Package lock is locklint's testdata: every blocking-while-locked
+// shape next to its sanctioned counterpart.
+package lock
+
+import (
+	"sync"
+	"time"
+)
+
+type Transport struct{}
+
+func (Transport) Send([]byte) {}
+
+type host struct {
+	mu   sync.Mutex
+	rmu  sync.RWMutex
+	tr   Transport
+	cb   func()
+	ch   chan int
+	cond *sync.Cond
+	wg   sync.WaitGroup
+}
+
+func (h *host) blocking() {
+	h.mu.Lock()
+	h.ch <- 1                    // want `channel send while h\.mu is held`
+	<-h.ch                       // want `channel receive while h\.mu is held`
+	h.tr.Send(nil)               // want `Transport\.Send called while h\.mu is held`
+	h.cb()                       // want `callback cb invoked while h\.mu is held`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while h\.mu is held`
+	h.wg.Wait()                  // want `WaitGroup\.Wait while h\.mu is held`
+	h.mu.Unlock()
+	h.ch <- 2 // released: not a finding
+}
+
+func (h *host) deferred() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- 1 // want `channel send while h\.mu is held`
+}
+
+func (h *host) readLocked() {
+	h.rmu.RLock()
+	h.tr.Send(nil) // want `Transport\.Send called while h\.rmu is held`
+	h.rmu.RUnlock()
+	h.tr.Send(nil) // released: not a finding
+}
+
+// copyThenCall is the sanctioned pattern: snapshot under the lock, do
+// the blocking work after releasing it.
+func (h *host) copyThenCall() {
+	h.mu.Lock()
+	v := len(h.ch)
+	h.mu.Unlock()
+	h.ch <- v
+	h.tr.Send(nil)
+	h.cb()
+}
+
+// condWait is exempt: Cond.Wait releases the lock while blocked.
+func (h *host) condWait(ready func() bool) {
+	h.mu.Lock()
+	for !ready() { // want `callback ready invoked while h\.mu is held`
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
+
+// selectDefault never blocks; its channel operations are exempt.
+func (h *host) selectDefault() {
+	h.mu.Lock()
+	select {
+	case h.ch <- 1:
+	default:
+	}
+	h.mu.Unlock()
+}
+
+func (h *host) selectBlocking() {
+	h.mu.Lock()
+	select { // want `select without a default clause while h\.mu is held`
+	case v := <-h.ch:
+		_ = v
+	}
+	h.mu.Unlock()
+}
+
+// goroutine bodies do not hold the spawner's locks.
+func (h *host) spawn() {
+	h.mu.Lock()
+	go func() {
+		h.ch <- 1 // not a finding: runs on another goroutine
+	}()
+	h.mu.Unlock()
+}
+
+// funcLit bodies are separate functions: no locks held on entry.
+func (h *host) literal() func() {
+	h.mu.Lock()
+	fn := func() {
+		h.ch <- 1 // not a finding: runs whenever the closure runs
+	}
+	h.mu.Unlock()
+	return fn
+}

@@ -1,0 +1,30 @@
+// Package param is paramlint's testdata: a Params struct where each
+// field exercises one rule, documented by the README.md next to this
+// file.
+package param
+
+import "errors"
+
+type Params struct {
+	// Checked is validated and documented: clean.
+	Checked int
+	// Unchecked is documented but never referenced in Validate.
+	Unchecked int // want `Params\.Unchecked is not referenced in Validate`
+	// Flag is a bool: both values are valid, so only documentation is
+	// required.
+	Flag bool
+	// Undoc is validated but missing from the README table.
+	Undoc int // want `Params\.Undoc has no .Undoc. row`
+	// unexported fields are not tunables.
+	unexported int
+}
+
+func (p Params) Validate() error {
+	if p.Checked <= 0 {
+		return errors.New("Checked must be positive")
+	}
+	if p.Undoc < 0 {
+		return errors.New("Undoc must be non-negative")
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireLint keeps the wire codec total over the message-kind space: in a
+// package that declares top-level Encode and Decode functions, every
+// constant of the MsgKind type must be handled on both the encode and
+// the decode path (reachable same-package code must reference it from
+// each entry point), and every kind must be seeded into a fuzz corpus
+// (appear by name inside a Fuzz* function in the package's test files).
+// A kind that encodes but does not decode is a protocol message that
+// silently vanishes on the far side; a kind absent from the fuzz corpus
+// never gets its frame layout exercised.
+var WireLint = &Analyzer{
+	Name: "wirelint",
+	Doc: "every MsgKind must be handled by both Encode and Decode and seeded " +
+		"in a Fuzz* corpus",
+	Run: runWireLint,
+}
+
+func runWireLint(pass *Pass) error {
+	encode := topLevelFunc(pass, "Encode")
+	decode := topLevelFunc(pass, "Decode")
+	if encode == nil || decode == nil {
+		return nil
+	}
+	kindType := findMsgKindType(pass)
+	if kindType == nil {
+		return nil
+	}
+	kinds := kindConstants(kindType)
+	if len(kinds) == 0 {
+		return nil
+	}
+
+	encodeRefs := reachableKindRefs(pass, encode, kindType)
+	decodeRefs := reachableKindRefs(pass, decode, kindType)
+	fuzzFuncs, fuzzNames := fuzzSeedNames(pass)
+
+	for _, k := range kinds {
+		if !encodeRefs[k] {
+			pass.Reportf(encode.Pos(),
+				"message kind %s is not handled on the Encode path: frames of this kind cannot be sent", k.Name())
+		}
+		if !decodeRefs[k] {
+			pass.Reportf(decode.Pos(),
+				"message kind %s is not handled on the Decode path: frames of this kind are dropped on receipt", k.Name())
+		}
+	}
+	if len(fuzzFuncs) == 0 {
+		pass.Reportf(decode.Pos(),
+			"package has Encode/Decode but no Fuzz* function seeding message kinds into a corpus")
+		return nil
+	}
+	for _, k := range kinds {
+		if !fuzzNames[k.Name()] {
+			pass.Reportf(fuzzFuncs[0].Pos(),
+				"message kind %s is not seeded in any Fuzz* corpus: its frame layout is never fuzzed", k.Name())
+		}
+	}
+	return nil
+}
+
+// topLevelFunc finds a package-level function (no receiver) by name.
+func topLevelFunc(pass *Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// findMsgKindType locates the named type MsgKind, declared in this
+// package or in any package this one references.
+func findMsgKindType(pass *Pass) *types.Named {
+	for _, obj := range pass.TypesInfo.Uses {
+		if n := msgKindOf(obj); n != nil {
+			return n
+		}
+	}
+	for _, obj := range pass.TypesInfo.Defs {
+		if n := msgKindOf(obj); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func msgKindOf(obj types.Object) *types.Named {
+	if obj == nil {
+		return nil
+	}
+	if tn, ok := obj.(*types.TypeName); ok && tn.Name() == "MsgKind" {
+		if n, ok := tn.Type().(*types.Named); ok {
+			return n
+		}
+	}
+	if n, ok := obj.Type().(*types.Named); ok && n.Obj().Name() == "MsgKind" {
+		return n
+	}
+	return nil
+}
+
+// kindConstants lists every constant of the kind type declared in the
+// type's own package, in scope-name order.
+func kindConstants(kind *types.Named) []*types.Const {
+	pkg := kind.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), kind) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reachableKindRefs collects the kind constants referenced by root or by
+// any same-package function transitively called from it.
+func reachableKindRefs(pass *Pass, root *ast.FuncDecl, kind *types.Named) map[*types.Const]bool {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	refs := make(map[*types.Const]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd] || fd.Body == nil {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if c, ok := obj.(*types.Const); ok && types.Identical(c.Type(), kind) {
+				refs[c] = true
+			}
+			if callee, ok := decls[obj]; ok {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	visit(root)
+	return refs
+}
+
+// fuzzSeedNames scans the package's test files (parsed only: they may
+// belong to an external _test package) for Fuzz* functions and collects
+// every identifier and selector name inside them. A kind counts as
+// seeded when its name appears — as `MsgData` or `core.MsgData` — in
+// some Fuzz* body.
+func fuzzSeedNames(pass *Pass) ([]*ast.FuncDecl, map[string]bool) {
+	var fuzz []*ast.FuncDecl
+	names := make(map[string]bool)
+	for _, file := range pass.TestFiles {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") || fd.Body == nil {
+				continue
+			}
+			fuzz = append(fuzz, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return fuzz, names
+}

@@ -197,6 +197,11 @@ func (p Params) Validate() error {
 	if p.ParentTimeout <= p.InfoClusterPeriod {
 		return errors.New("core: ParentTimeout must exceed InfoClusterPeriod or in-cluster parents flap")
 	}
+	switch p.ClusterMode {
+	case ClusterDynamic, ClusterStatic, ClusterNone:
+	default:
+		return fmt.Errorf("core: unknown ClusterMode %d", int(p.ClusterMode))
+	}
 	if p.BackoffBase != 0 || p.BackoffMax != 0 || p.BackoffMultiplier != 0 || p.SuspicionAfter != 0 {
 		if p.BackoffBase <= 0 {
 			return fmt.Errorf("core: BackoffBase must be positive when backoff is configured, got %v", p.BackoffBase)

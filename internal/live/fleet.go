@@ -404,6 +404,7 @@ func (r *recorder) wait(pred func() bool, timeout time.Duration) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
+		//rblint:ignore locklint condition-variable predicate: contract requires pred to be lock-safe, and cond.Wait releases mu between checks
 		if pred() {
 			return true
 		}

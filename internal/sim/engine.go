@@ -11,8 +11,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
+
+	"rbcast/internal/detrand"
 )
 
 // Event is a callback scheduled to run at a virtual instant.
@@ -72,14 +73,14 @@ type Engine struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
-	rng     *rand.Rand
+	rng     *detrand.Rand
 	stopped bool
 	ran     uint64
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: detrand.New(seed)}
 }
 
 // Now returns the current virtual time.
@@ -87,7 +88,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Rand returns the engine's deterministic random source. All randomness
 // in a simulation must come from here to preserve reproducibility.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *detrand.Rand { return e.rng }
 
 // EventsRun reports the number of events executed so far.
 func (e *Engine) EventsRun() uint64 { return e.ran }

@@ -1,0 +1,48 @@
+package soak
+
+import (
+	"testing"
+
+	"rbcast/internal/harness"
+)
+
+// Two harness runs of the same seed must produce bit-identical event
+// traces — the property detlint exists to protect (no wall clock, no
+// global randomness, no order-sensitive map iteration in the
+// deterministic packages). A diverging trace here means seeded replay
+// and shrinking are silently broken even if per-seed pass/fail agrees.
+func TestSameSeedIdenticalEventTrace(t *testing.T) {
+	run := func() *harness.Result {
+		t.Helper()
+		sp := NewSpec(ClassPartitionTrap, 7)
+		sc, err := sp.Scenario()
+		if err != nil {
+			t.Fatalf("Scenario: %v", err)
+		}
+		sc.CollectEvents = true
+		res, err := harness.Run(sc)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+
+	if len(a.Events) == 0 {
+		t.Fatal("no events collected; the trace comparison is vacuous")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n  %+v\nvs\n  %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.DeliveredCount != b.DeliveredCount || a.Complete != b.Complete ||
+		a.CompletionAt != b.CompletionAt {
+		t.Fatalf("summary stats differ: (%d,%v,%v) vs (%d,%v,%v)",
+			a.DeliveredCount, a.Complete, a.CompletionAt,
+			b.DeliveredCount, b.Complete, b.CompletionAt)
+	}
+}

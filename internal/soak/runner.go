@@ -110,6 +110,9 @@ func Run(cfg Config) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-seed results stay pure functions of the seed; the wall clock only
+	// decides how many seeds this run dispatches (Config.Budget).
+	//rblint:ignore detlint wall-clock Budget cutoff; never feeds per-seed results
 	start := time.Now()
 	seedCh := make(chan int64)
 	// results is indexed by seed offset: distinct workers write distinct
@@ -131,6 +134,7 @@ func Run(cfg Config) (*Summary, error) {
 				}
 				if cfg.Progress != nil {
 					progressMu.Lock()
+					//rblint:ignore locklint progressMu exists solely to serialize this callback; nothing else contends for it
 					cfg.Progress(int(done.Value()), int(failed.Value()))
 					progressMu.Unlock()
 				}
@@ -138,6 +142,7 @@ func Run(cfg Config) (*Summary, error) {
 		}()
 	}
 	for i := 0; i < cfg.Seeds; i++ {
+		//rblint:ignore detlint wall-clock Budget cutoff; affects how many seeds run, not any seed's result
 		if cfg.Budget > 0 && time.Since(start) > cfg.Budget {
 			break
 		}
@@ -151,7 +156,8 @@ func Run(cfg Config) (*Summary, error) {
 		SeedStart: cfg.SeedStart,
 		Requested: cfg.Seeds,
 		Workers:   cfg.Workers,
-		Elapsed:   time.Since(start),
+		//rblint:ignore detlint Elapsed is wall-clock reporting for the operator, not part of any seed's result
+		Elapsed: time.Since(start),
 	}
 	for _, r := range results {
 		if r != nil {

@@ -14,10 +14,10 @@ package soak
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"time"
 
 	"rbcast/internal/core"
+	"rbcast/internal/detrand"
 	"rbcast/internal/harness"
 	"rbcast/internal/netsim"
 	"rbcast/internal/sim"
@@ -172,13 +172,13 @@ var shapeNames = []string{"star", "chain", "tree", "mesh", "ring"}
 
 // specRNG derives the generator's random source. The class participates
 // so different classes explore different scenarios at the same seed.
-func specRNG(class Class, seed int64) *rand.Rand {
+func specRNG(class Class, seed int64) *detrand.Rand {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d", class, seed)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return detrand.New(int64(h.Sum64()))
 }
 
-func randMS(rng *rand.Rand, lo, hi int64) int64 {
+func randMS(rng *detrand.Rand, lo, hi int64) int64 {
 	if hi <= lo {
 		return lo
 	}
@@ -364,7 +364,7 @@ func (sp Spec) Scenario() (harness.Scenario, error) {
 			if sp.ExtraCheapLinks > 0 {
 				// Redundant intra-cluster links, from a build-local source so
 				// the engine's rng stream is untouched.
-				buildRNG := rand.New(rand.NewSource(sp.Seed ^ 0x5eed50a4))
+				buildRNG := detrand.New(sp.Seed ^ 0x5eed50a4)
 				for _, servers := range t.ServersByCluster {
 					if _, err := t.Net.AddRandomLinks(buildRNG, servers,
 						sp.ExtraCheapLinks, sp.Cheap.config(netsim.Cheap)); err != nil {

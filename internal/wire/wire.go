@@ -68,9 +68,22 @@ type Frame struct {
 	Message core.Message
 }
 
+// knownKind enumerates the message kinds the codec handles, one arm per
+// kind. Both Encode and Decode gate on it, so adding a core.MsgKind
+// without extending the codec fails wirelint here rather than silently
+// dropping frames of the new kind.
+func knownKind(k core.MsgKind) bool {
+	switch k {
+	case core.MsgData, core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
+		core.MsgAttachReject, core.MsgDetach, core.MsgBundle:
+		return true
+	}
+	return false
+}
+
 // Encode renders a frame to bytes.
 func Encode(f Frame) ([]byte, error) {
-	if f.Message.Kind < core.MsgData || f.Message.Kind > core.MsgBundle {
+	if !knownKind(f.Message.Kind) {
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Message.Kind)
 	}
 	if f.Message.Kind != core.MsgBundle && len(f.Message.Parts) > 0 {
@@ -134,7 +147,7 @@ func Decode(data []byte) (Frame, error) {
 		return f, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
 	}
 	kind := core.MsgKind(data[2])
-	if kind < core.MsgData || kind > core.MsgBundle {
+	if !knownKind(kind) {
 		return f, fmt.Errorf("%w: %d", ErrBadKind, data[2])
 	}
 	flags := data[3]
