@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check soak fuzz fuzz-smoke clean
+.PHONY: all build vet lint test race check soak fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -22,7 +22,9 @@ race:
 	$(GO) test -race ./...
 
 # check is the gate for every change: compile everything, lint with vet
-# and rblint, and run the full suite under the race detector.
+# and rblint, and run the full suite under the race detector. It does
+# not run benchmarks; use `make bench-json` before and after perf work
+# to record BENCH_<date>.json snapshots.
 check: build vet lint race
 
 # soak runs a quick randomized sweep of every scenario class (the
@@ -33,6 +35,19 @@ soak: build
 	$(GO) run ./cmd/rbsoak -class partition -count 500
 	$(GO) run ./cmd/rbsoak -class mixed -count 500
 	$(GO) run ./cmd/rbsoak -class recovery -count 500
+
+# bench-json records the perf-tracking suite (internal/bench) as a
+# BENCH_<date>.json snapshot via cmd/rbbench; schema in README
+# "Performance". BENCHTIME=2s gives stable numbers for committed
+# snapshots.
+BENCHTIME ?= 2s
+bench-json: build
+	$(GO) run ./cmd/rbbench -benchtime $(BENCHTIME)
+
+# bench-smoke is the CI-sized run: one iteration per case, enough to
+# catch benchmarks that break without burning CI minutes on timing.
+bench-smoke: build
+	$(GO) run ./cmd/rbbench -benchtime 1x -label ci-smoke -out bench-smoke.json
 
 # fuzz gives each fuzz target a short budget; raise -fuzztime for real
 # campaigns.

@@ -8,13 +8,9 @@ package rbcast_test
 
 import (
 	"testing"
-	"time"
 
-	"rbcast"
+	"rbcast/internal/bench"
 	"rbcast/internal/experiments"
-	"rbcast/internal/harness"
-	"rbcast/internal/sim"
-	"rbcast/internal/topo"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -23,6 +19,7 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := r.Run(1)
 		if err != nil {
@@ -49,88 +46,15 @@ func BenchmarkE9Cluster(b *testing.B)    { benchExperiment(b, "E9") }
 func BenchmarkE10Piggyback(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Multi(b *testing.B)     { benchExperiment(b, "E11") }
 
-// BenchmarkSimulatorThroughput measures raw discrete-event throughput of
-// a full protocol broadcast: simulated events per wall-clock second.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	var events uint64
-	var virtual time.Duration
-	for i := 0; i < b.N; i++ {
-		rt, err := harness.Prepare(harness.Scenario{
-			Seed: 1,
-			Build: func(eng *sim.Engine) (*topo.Topology, error) {
-				return topo.Clustered(eng, topo.ClusteredConfig{
-					Clusters:        6,
-					HostsPerCluster: 4,
-					Shape:           topo.WANTree,
-				})
-			},
-			Protocol:         harness.ProtocolTree,
-			Messages:         30,
-			MsgInterval:      150 * time.Millisecond,
-			WarmUp:           3 * time.Second,
-			StopWhenComplete: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := rt.Finish()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Complete {
-			b.Fatalf("broadcast incomplete (%d/%d)", res.DeliveredCount, res.ExpectedCount)
-		}
-		events += rt.Engine.EventsRun()
-		virtual += rt.Engine.Now()
-	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
-	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds()/float64(b.N), "virtual-s/wall-s")
-}
+// The trailing benchmarks delegate to internal/bench so that
+// `go test -bench` and the cmd/rbbench JSON snapshot runner measure
+// exactly the same code.
 
-// BenchmarkPublicSimulate measures the facade's end-to-end cost.
-func BenchmarkPublicSimulate(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := rbcast.Simulate(rbcast.SimulationConfig{
-			Clusters:        3,
-			HostsPerCluster: 3,
-			Messages:        20,
-			Seed:            1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Complete {
-			b.Fatal("incomplete")
-		}
-	}
-}
-
-// BenchmarkLiveFleetBroadcast measures real-time end-to-end latency of a
-// nine-host live fleet delivering a burst of ten messages.
-func BenchmarkLiveFleetBroadcast(b *testing.B) {
-	hosts := []rbcast.HostID{1, 2, 3, 4, 5, 6, 7, 8, 9}
-	fleet, err := rbcast.StartFleet(rbcast.FleetConfig{
-		Hosts:    hosts,
-		Source:   1,
-		Clusters: [][]rbcast.HostID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
-		Seed:     1,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer fleet.Stop()
-	b.ResetTimer()
-	var total rbcast.Seq
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < 10; j++ {
-			seq, err := fleet.Broadcast([]byte("bench"))
-			if err != nil {
-				b.Fatal(err)
-			}
-			total = seq
-		}
-		if !fleet.WaitDelivered(total, 30*time.Second) {
-			b.Fatal("burst not delivered")
-		}
-	}
-}
+func BenchmarkSimulatorThroughput(b *testing.B)  { bench.SimulatorThroughput(b) }
+func BenchmarkPublicSimulate(b *testing.B)       { bench.PublicSimulate(b) }
+func BenchmarkLiveFleetBroadcast(b *testing.B)   { bench.LiveFleetBroadcast(b) }
+func BenchmarkEngineTimerChurn(b *testing.B)     { bench.EngineTimerChurn(b) }
+func BenchmarkSeqsetDiff(b *testing.B)           { bench.SeqsetDiff(b) }
+func BenchmarkWireEncodeInfo(b *testing.B)       { bench.WireEncodeInfo(b) }
+func BenchmarkWireAppendEncodeInfo(b *testing.B) { bench.WireAppendEncodeInfo(b) }
+func BenchmarkWireDecodeInfo(b *testing.B)       { bench.WireDecodeInfo(b) }

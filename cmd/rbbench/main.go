@@ -1,0 +1,164 @@
+// Command rbbench runs the perf-tracking benchmark suite
+// (internal/bench) and writes a BENCH_<date>.json snapshot, so every
+// optimization PR records its before/after numbers in the repository and
+// the performance trajectory stays reviewable.
+//
+// Usage examples:
+//
+//	rbbench                         # full suite, 1s per benchmark, BENCH_<today>.json
+//	rbbench -benchtime 1x -out bench-smoke.json   # CI smoke pass
+//	rbbench -run 'Wire|Engine' -benchtime 100ms
+//	rbbench -list                   # print case names and exit
+//
+// The JSON schema is documented in README.md ("Performance").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"rbcast/internal/bench"
+)
+
+// Snapshot is the BENCH_*.json document.
+type Snapshot struct {
+	// Date is the ISO day the snapshot was taken (-date overrides).
+	Date string `json:"date"`
+	// Label distinguishes snapshots taken the same day (e.g. "baseline").
+	Label string `json:"label,omitempty"`
+	// Go, OS, and Arch pin the toolchain and platform.
+	Go   string `json:"go"`
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	// Benchtime is the -benchtime value the suite ran with.
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's result.
+type Entry struct {
+	Name string `json:"name"`
+	// N is the iteration count the framework settled on.
+	N int `json:"n"`
+	// NsPerOp, AllocsPerOp, and BytesPerOp are the standard Go benchmark
+	// measures.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries b.ReportMetric extras (e.g. "events/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget, as a duration or Nx iteration count")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json in the current directory)")
+		label     = flag.String("label", "", "snapshot label recorded in the JSON (e.g. baseline)")
+		date      = flag.String("date", "", "override the snapshot date (YYYY-MM-DD; default today)")
+		runExpr   = flag.String("run", "", "only run cases whose name matches this regexp")
+		list      = flag.Bool("list", false, "print the case names and exit")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rbbench: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+	if *list {
+		for _, c := range bench.Cases() {
+			fmt.Println(c.Name)
+		}
+		return 0
+	}
+	var filter *regexp.Regexp
+	if *runExpr != "" {
+		re, err := regexp.Compile(*runExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbbench: bad -run %q: %v\n", *runExpr, err)
+			return 2
+		}
+		filter = re
+	}
+	// testing.Benchmark sizes runs from the test framework's benchtime
+	// flag; register the testing flags so it can be set outside a test
+	// binary.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "rbbench: bad -benchtime %q: %v\n", *benchtime, err)
+		return 2
+	}
+
+	snap := Snapshot{
+		Date:      *date,
+		Label:     *label,
+		Go:        runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	if snap.Date == "" {
+		snap.Date = time.Now().Format("2006-01-02")
+	}
+	for _, c := range bench.Cases() {
+		if filter != nil && !filter.MatchString(c.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		r := testing.Benchmark(c.F)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "rbbench: %s failed (see output above)\n", c.Name)
+			return 1
+		}
+		e := Entry{
+			Name:        c.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %d allocs/op, %d B/op\n",
+			e.N, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "rbbench: no benchmarks matched")
+		return 2
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbbench:", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(snap)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	return 0
+}

@@ -5,6 +5,7 @@
 //	rbsim -clusters 4 -hosts 3 -messages 50
 //	rbsim -proto basic -shape chain -wan-loss 0.25
 //	rbsim -partition 2:5s:25s -messages 40 -trace 30
+//	rbsim -messages 500 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The simulation is deterministic for a given -seed.
 package main
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,8 +47,27 @@ func run() int {
 		full      = flag.Bool("full-horizon", false, "run the whole horizon even after completion")
 		dotFile   = flag.String("dot", "", "write the final parent graph as Graphviz DOT to this file")
 		csvFile   = flag.String("csv", "", "write the per-delivery timeline as CSV to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with `go tool pprof`)")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbsim:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "rbsim:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memProf)
 
 	shapes := map[string]topo.WANShape{
 		"star": topo.WANStar, "chain": topo.WANChain, "tree": topo.WANTree,
@@ -186,4 +208,21 @@ func parsePartition(s string) ([]harness.TimedEvent, error) {
 			return rt.Topo.RestoreLinks(rt.Topo.WANLinksOfCluster(cluster))
 		}},
 	}, nil
+}
+
+// writeMemProfile dumps a post-GC heap profile, best-effort.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbsim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "rbsim:", err)
+	}
 }

@@ -9,6 +9,7 @@
 //	rbsoak -class churn -budget 30s -csv churn.csv
 //	rbsoak -class partition-trap -count 5   # watch the engine catch bugs
 //	rbsoak -class mixed -seeds 81 -count 1 -workers 1 -v
+//	rbsoak -count 200 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Per-seed results are byte-identical regardless of -workers; only wall
 // time changes. The exit status is 0 when every seed passed, 1 when any
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rbcast/internal/soak"
@@ -50,6 +53,8 @@ func run() int {
 		jsFile  = flag.String("json", "", "write the full summary (specs included) as JSON to this file")
 		shrink  = flag.Bool("shrink", true, "shrink failing seeds to minimal reproducing specs")
 		verbose = flag.Bool("v", false, "print each seed's result as it completes")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with `go tool pprof`)")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with `go tool pprof`)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -65,6 +70,23 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "rbsoak: -count %d, want >= 1\n", *count)
 		return 2
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbsoak:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "rbsoak:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile("rbsoak", *memProf)
 
 	cfg := soak.Config{
 		Class:     cls,
@@ -132,6 +154,23 @@ func run() int {
 		fmt.Print(soak.FailureText(cls, f, sh))
 	}
 	return 1
+}
+
+// writeMemProfile dumps a post-GC heap profile, best-effort.
+func writeMemProfile(tool, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

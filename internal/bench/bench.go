@@ -1,0 +1,240 @@
+// Package bench defines the repository's perf-tracking benchmark cases
+// once, so that `go test -bench` (via bench_test.go wrappers) and the
+// cmd/rbbench JSON runner measure exactly the same code. Each case is an
+// ordinary testing benchmark function; rbbench executes them with
+// testing.Benchmark and records events/s, ns/op, allocs/op, and bytes/op
+// into a BENCH_<date>.json snapshot (schema documented in README
+// "Performance").
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"rbcast"
+	"rbcast/internal/harness"
+	"rbcast/internal/seqset"
+	"rbcast/internal/sim"
+	"rbcast/internal/topo"
+	"rbcast/internal/wire"
+
+	"rbcast/internal/core"
+)
+
+// Case is one named benchmark tracked across BENCH_*.json snapshots.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Cases returns the perf-tracking suite in a fixed order.
+func Cases() []Case {
+	return []Case{
+		{"SimulatorThroughput", SimulatorThroughput},
+		{"PublicSimulate", PublicSimulate},
+		{"LiveFleetBroadcast", LiveFleetBroadcast},
+		{"EngineTimerChurn", EngineTimerChurn},
+		{"SeqsetDiff", SeqsetDiff},
+		{"WireEncodeInfo", WireEncodeInfo},
+		{"WireAppendEncodeInfo", WireAppendEncodeInfo},
+		{"WireDecodeInfo", WireDecodeInfo},
+	}
+}
+
+// SimulatorThroughput measures raw discrete-event throughput of a full
+// protocol broadcast: simulated events per wall-clock second.
+func SimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		rt, err := harness.Prepare(harness.Scenario{
+			Seed: 1,
+			Build: func(eng *sim.Engine) (*topo.Topology, error) {
+				return topo.Clustered(eng, topo.ClusteredConfig{
+					Clusters:        6,
+					HostsPerCluster: 4,
+					Shape:           topo.WANTree,
+				})
+			},
+			Protocol:         harness.ProtocolTree,
+			Messages:         30,
+			MsgInterval:      150 * time.Millisecond,
+			WarmUp:           3 * time.Second,
+			StopWhenComplete: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := rt.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatalf("broadcast incomplete (%d/%d)", res.DeliveredCount, res.ExpectedCount)
+		}
+		events += rt.Engine.EventsRun()
+		virtual += rt.Engine.Now()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds()/float64(b.N), "virtual-s/wall-s")
+}
+
+// PublicSimulate measures the facade's end-to-end cost.
+func PublicSimulate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := rbcast.Simulate(rbcast.SimulationConfig{
+			Clusters:        3,
+			HostsPerCluster: 3,
+			Messages:        20,
+			Seed:            1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// LiveFleetBroadcast measures real-time end-to-end latency of a
+// nine-host live fleet delivering a burst of ten messages.
+func LiveFleetBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	hosts := []rbcast.HostID{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	fleet, err := rbcast.StartFleet(rbcast.FleetConfig{
+		Hosts:    hosts,
+		Source:   1,
+		Clusters: [][]rbcast.HostID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Stop()
+	b.ResetTimer()
+	var total rbcast.Seq
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			seq, err := fleet.Broadcast([]byte("bench"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = seq
+		}
+		if !fleet.WaitDelivered(total, 30*time.Second) {
+			b.Fatal("burst not delivered")
+		}
+	}
+}
+
+// EngineTimerChurn measures the event queue under backoff-style timer
+// churn: a burst of scheduled events, most of which are canceled before
+// they fire — the pattern long recovery soaks produce.
+func EngineTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	const burst = 4096
+	timers := make([]sim.Timer, 0, burst)
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1)
+		timers = timers[:0]
+		for j := 0; j < burst; j++ {
+			timers = append(timers, eng.Schedule(time.Duration(j)*time.Microsecond, func() {}))
+		}
+		for j, t := range timers {
+			if j%8 != 0 {
+				t.Cancel()
+			}
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "timers/s")
+}
+
+// benchSets builds a fragmented INFO set pair shaped like a lossy run:
+// `have` holds most of 1..600 with periodic holes; `their` trails behind.
+func benchSets() (have, their seqset.Set) {
+	for q := seqset.Seq(1); q <= 600; q++ {
+		if q%37 != 0 {
+			have.Add(q)
+		}
+		if q <= 480 && q%23 != 0 {
+			their.Add(q)
+		}
+	}
+	return have, their
+}
+
+// SeqsetDiff measures the set difference underlying every gap-fill
+// decision and every delta INFO exchange.
+func SeqsetDiff(b *testing.B) {
+	b.ReportAllocs()
+	have, their := benchSets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := have.Diff(their)
+		if d.Empty() {
+			b.Fatal("empty diff")
+		}
+	}
+}
+
+// infoFrame is a typical periodic INFO frame: a mostly-contiguous set
+// with a few holes, as a steady-state host advertises.
+func infoFrame() wire.Frame {
+	info := seqset.FromRange(1, 120)
+	info.AddRange(125, 180)
+	info.AddRange(190, 200)
+	return wire.Frame{From: 3, Message: core.Message{
+		Kind:   core.MsgInfo,
+		Info:   info,
+		Parent: 2,
+	}}
+}
+
+// WireEncodeInfo measures encoding of a typical INFO frame.
+func WireEncodeInfo(b *testing.B) {
+	b.ReportAllocs()
+	f := infoFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireAppendEncodeInfo measures the hot transport path: encoding a
+// typical INFO frame into a reused buffer. Expected 0 allocs/op.
+func WireAppendEncodeInfo(b *testing.B) {
+	b.ReportAllocs()
+	f := infoFrame()
+	buf := make([]byte, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wire.AppendEncode(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// WireDecodeInfo measures decoding of a typical INFO frame.
+func WireDecodeInfo(b *testing.B) {
+	b.ReportAllocs()
+	data, err := wire.Encode(infoFrame())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

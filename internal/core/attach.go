@@ -57,7 +57,8 @@ func (h *Host) runAttachment(now time.Duration, fresh bool) {
 	if h.attach.excluded == nil {
 		h.attach.excluded = make(map[HostID]bool)
 	}
-	h.emit(cand, Message{Kind: MsgAttachReq, Info: h.info.Clone()})
+	h.noteFullInfoSent(cand)
+	h.emit(cand, Message{Kind: MsgAttachReq, Info: h.info.Snapshot()})
 }
 
 // eligible applies the filters common to every option: never self, never
@@ -260,7 +261,8 @@ func (h *Host) handleAttachReq(now time.Duration, from HostID, m Message) {
 		h.children[from] = true
 		h.event(now, EvChildAdded, from, 0)
 	}
-	h.emit(from, Message{Kind: MsgAttachAccept, Info: h.info.Clone()})
+	h.noteFullInfoSent(from)
+	h.emit(from, Message{Kind: MsgAttachAccept, Info: h.info.Snapshot()})
 	// Forward what the child is missing and we have, up to the limit; the
 	// periodic neighbour gap fill covers any remainder.
 	missing := h.info.Diff(m.Info)

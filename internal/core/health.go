@@ -2,7 +2,7 @@ package core
 
 import (
 	"hash/fnv"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -215,10 +215,11 @@ func (h *Host) flushResyncs(now time.Duration) {
 	if len(pending) == 0 {
 		return
 	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	slices.Sort(pending)
 	m := h.infoMessage()
 	for _, j := range pending {
 		h.health[j].resync = false
+		h.noteFullInfoSent(j)
 		h.emit(j, m)
 		h.fillGapsOf(j)
 		h.resyncBursts++
@@ -248,7 +249,7 @@ func (h *Host) SuspectedPeers() []HostID {
 			out = append(out, j)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

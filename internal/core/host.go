@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"rbcast/internal/seqset"
@@ -50,6 +50,19 @@ type Host struct {
 	children map[HostID]bool
 	// parent is p_i[i]; Nil when the host has no parent.
 	parent HostID
+
+	// Delta INFO state, active only under Params.DeltaInfo. Sender side:
+	// lastSentInfo holds the full INFO set most recently advertised to
+	// each peer (by full MsgInfo or by delta chain), and sinceFull counts
+	// consecutive deltas since the last full — a resync counter. Receiver
+	// side: infoView reconstructs each peer's full INFO from the last
+	// full set received plus every delta applied since; infoSynced marks
+	// views rooted at a received full set (only those may be promoted to
+	// authoritative on a checksum match).
+	lastSentInfo map[HostID]seqset.Set
+	sinceFull    map[HostID]int
+	infoView     map[HostID]seqset.Set
+	infoSynced   map[HostID]bool
 
 	lastFromParent time.Duration
 	started        bool
@@ -111,7 +124,7 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 	}
 	peers := make([]HostID, len(cfg.Peers))
 	copy(peers, cfg.Peers)
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	slices.Sort(peers)
 	order := make(map[HostID]int, len(peers))
 	for _, p := range peers {
 		if cfg.Order != nil {
@@ -121,13 +134,13 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 		}
 	}
 	h := &Host{
-		id:        cfg.ID,
-		source:    cfg.Source,
-		peers:     peers,
-		order:     order,
-		params:    cfg.Params,
-		env:       env,
-		observer:  cfg.Observer,
+		id:         cfg.ID,
+		source:     cfg.Source,
+		peers:      peers,
+		order:      order,
+		params:     cfg.Params,
+		env:        env,
+		observer:   cfg.Observer,
 		store:      make(map[seqset.Seq][]byte),
 		maps:       make(map[HostID]seqset.Set),
 		confirmed:  make(map[HostID]seqset.Set),
@@ -143,6 +156,12 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 		for _, p := range cfg.InitialCluster {
 			h.cluster[p] = true
 		}
+	}
+	if cfg.Params.DeltaInfo {
+		h.lastSentInfo = make(map[HostID]seqset.Set)
+		h.sinceFull = make(map[HostID]int)
+		h.infoView = make(map[HostID]seqset.Set)
+		h.infoSynced = make(map[HostID]bool)
 	}
 	return h, nil
 }
@@ -162,7 +181,7 @@ func (h *Host) Children() []HostID {
 	for c := range h.children {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -172,15 +191,24 @@ func (h *Host) Cluster() []HostID {
 	for c := range h.cluster {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
-// Info returns a copy of INFO_i.
-func (h *Host) Info() seqset.Set { return h.info.Clone() }
+// Info returns a copy of INFO_i (copy-on-write; mutating either side is
+// safe).
+func (h *Host) Info() seqset.Set { return h.info.Snapshot() }
 
 // MapOf returns a copy of MAP_i[j] — this host's view of j's INFO set.
-func (h *Host) MapOf(j HostID) seqset.Set { return h.maps[j].Clone() }
+func (h *Host) MapOf(j HostID) seqset.Set {
+	s, ok := h.maps[j]
+	if !ok {
+		return seqset.Set{}
+	}
+	snap := s.Snapshot()
+	h.maps[j] = s // write back the copy-on-write mark
+	return snap
+}
 
 // ParentView returns p_i[j], this host's view of j's parent pointer.
 func (h *Host) ParentView(j HostID) HostID {
@@ -316,10 +344,11 @@ func (h *Host) learnHas(from HostID, q seqset.Seq) {
 
 // learnInfo records an authoritative INFO snapshot from a peer, replacing
 // both the working MAP entry (clearing stale optimistic marks) and the
-// confirmed view.
+// confirmed view. The entries are copy-on-write snapshots: no run
+// storage is copied until one side mutates.
 func (h *Host) learnInfo(from HostID, info seqset.Set) {
-	h.maps[from] = info.Clone()
-	h.confirmed[from] = info.Clone()
+	h.maps[from] = info.Snapshot()
+	h.confirmed[from] = info.Snapshot()
 }
 
 func (h *Host) event(now time.Duration, kind EventKind, peer HostID, seq seqset.Seq) {
@@ -375,6 +404,8 @@ func (h *Host) dispatch(now time.Duration, from HostID, m Message) {
 		h.handleData(now, from, m)
 	case MsgInfo:
 		h.handleInfo(now, from, m)
+	case MsgInfoDelta:
+		h.handleInfoDelta(now, from, m)
 	case MsgAttachReq:
 		h.handleAttachReq(now, from, m)
 	case MsgAttachAccept:
@@ -444,7 +475,57 @@ func (h *Host) handleData(now time.Duration, from HostID, m Message) {
 
 func (h *Host) handleInfo(now time.Duration, from HostID, m Message) {
 	h.learnInfo(from, m.Info)
-	h.parentOf[from] = m.Parent
+	if h.infoView != nil {
+		// A full set roots a fresh delta chain: later deltas merge into
+		// this view and are checked against the sender's checksum.
+		h.infoView[from] = m.Info.Snapshot()
+		h.infoSynced[from] = true
+	}
+	h.afterInfo(now, from, m.Parent)
+}
+
+// handleInfoDelta merges a delta INFO advertisement. Delta members are
+// always unioned into MAP and the confirmed view — they are first-hand
+// facts about what the sender holds, so the merge is sound even when
+// earlier deltas were lost. The reconstructed view replaces the MAP entry
+// outright (clearing stale optimistic marks, like a full MsgInfo) only
+// when it is rooted at a received full set and matches the sender's
+// (max, length) checksum: a subset view with the right member count and
+// maximum is the full set.
+func (h *Host) handleInfoDelta(now time.Duration, from HostID, m Message) {
+	if h.infoView == nil {
+		// Delta tracking disabled locally: fall back to the monotone
+		// union. Nothing is lost but optimistic-mark clearing.
+		h.mergeInfoFacts(from, m.Info)
+		h.afterInfo(now, from, m.Parent)
+		return
+	}
+	view := h.infoView[from]
+	view.ApplyDelta(m.Info)
+	h.infoView[from] = view
+	if h.infoSynced[from] && view.Max() == m.Seq && uint64(view.Len()) == m.CheckLen {
+		h.learnInfo(from, view)
+	} else {
+		h.mergeInfoFacts(from, m.Info)
+	}
+	h.afterInfo(now, from, m.Parent)
+}
+
+// mergeInfoFacts unions peer-held sequence numbers into both tracking
+// maps without replacing them.
+func (h *Host) mergeInfoFacts(from HostID, info seqset.Set) {
+	s := h.maps[from]
+	s.ApplyDelta(info)
+	h.maps[from] = s
+	c := h.confirmed[from]
+	c.ApplyDelta(info)
+	h.confirmed[from] = c
+}
+
+// afterInfo is the tail shared by full and delta INFO handling: parent
+// gossip and reactive gap filling.
+func (h *Host) afterInfo(now time.Duration, from HostID, parent HostID) {
+	h.parentOf[from] = parent
 	// Parent-pointer gossip keeps CHILDREN consistent in both directions:
 	// a host we consider a child that reports a different parent has
 	// moved on and is pruned; a host that reports us as its parent is a
@@ -453,10 +534,10 @@ func (h *Host) handleInfo(now time.Duration, from HostID, m Message) {
 	// wire). Without the re-adoption rule the pair deadlocks: the child
 	// keeps hearing our routine Info (so its parent-silence timer never
 	// fires) while we never forward it data.
-	if h.children[from] && m.Parent != h.id {
+	if h.children[from] && parent != h.id {
 		delete(h.children, from)
 		h.event(now, EvChildRemoved, from, 0)
-	} else if !h.children[from] && m.Parent == h.id {
+	} else if !h.children[from] && parent == h.id {
 		h.children[from] = true
 		h.event(now, EvChildAdded, from, 0)
 	}
@@ -492,7 +573,7 @@ func (h *Host) neighbors() []HostID {
 	for c := range h.children {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -569,26 +650,75 @@ func (h *Host) Tick(now time.Duration) {
 }
 
 func (h *Host) infoMessage() Message {
-	return Message{Kind: MsgInfo, Info: h.info.Clone(), Parent: h.parent}
+	return Message{Kind: MsgInfo, Info: h.info.Snapshot(), Parent: h.parent}
+}
+
+// deltaResyncEvery bounds a delta chain: after this many consecutive
+// MsgInfoDelta frames to one peer, the next advertisement is a full
+// MsgInfo, so a receiver whose view diverged (lost deltas) resynchronizes
+// within a bounded number of exchanges.
+const deltaResyncEvery = 8
+
+// infoMessageFor returns the INFO advertisement for peer j: a full
+// MsgInfo, or — under Params.DeltaInfo — a MsgInfoDelta carrying only the
+// runs gained since the last advertisement to j, whenever that coding is
+// strictly smaller on the wire. The choice is a pure function of protocol
+// state (INFO content and per-peer send history), never of timing. A full
+// set is forced when there is no send history, when the resync counter
+// expires, or when pruning shrank INFO below the last advertisement (a
+// delta cannot express removals).
+func (h *Host) infoMessageFor(j HostID) Message {
+	if !h.params.DeltaInfo {
+		return h.infoMessage()
+	}
+	last, ok := h.lastSentInfo[j]
+	if ok && h.sinceFull[j] < deltaResyncEvery && h.info.ContainsAll(last) {
+		delta := h.info.Diff(last)
+		// Wire economics: a delta pays 16 bytes per run plus the 8-byte
+		// length checksum; a full set pays 16 bytes per run. Send the
+		// delta only when strictly cheaper.
+		if 16*delta.RunCount()+8 < 16*h.info.RunCount() {
+			h.lastSentInfo[j] = h.info.Snapshot()
+			h.sinceFull[j]++
+			return Message{
+				Kind:     MsgInfoDelta,
+				Info:     delta,
+				Parent:   h.parent,
+				Seq:      h.info.Max(),
+				CheckLen: uint64(h.info.Len()),
+			}
+		}
+	}
+	h.noteFullInfoSent(j)
+	return h.infoMessage()
+}
+
+// noteFullInfoSent records that peer j was just advertised the complete
+// INFO set (routine full MsgInfo, resync burst, or attach handshake), so
+// the delta chain restarts from the current state.
+func (h *Host) noteFullInfoSent(j HostID) {
+	if !h.params.DeltaInfo {
+		return
+	}
+	h.lastSentInfo[j] = h.info.Snapshot()
+	h.sinceFull[j] = 0
 }
 
 // sendInfoLocal performs the routine intra-cluster INFO + parent-pointer
 // exchange.
 func (h *Host) sendInfoLocal() {
-	m := h.infoMessage()
 	for _, j := range h.Cluster() {
 		if j != h.id {
-			h.emit(j, m)
+			h.emit(j, h.infoMessageFor(j))
 		}
 	}
 }
 
 // sendInfoRemoteNeighbors keeps cross-cluster parent-graph edges fresh.
 func (h *Host) sendInfoRemoteNeighbors() {
-	m := h.infoMessage()
 	for _, nb := range h.neighbors() {
 		if !h.cluster[nb] {
-			h.emit(nb, m)
+			h.emit(nb, h.infoMessageFor(nb))
 		}
 	}
 }
@@ -600,7 +730,6 @@ func (h *Host) sendInfoGlobal(now time.Duration) {
 	if !h.IsLeader() && !h.IsSource() {
 		return
 	}
-	m := h.infoMessage()
 	for _, j := range h.peers {
 		if j == h.id || h.cluster[j] || h.isNeighbor(j) {
 			continue
@@ -610,7 +739,7 @@ func (h *Host) sendInfoGlobal(now time.Duration) {
 			continue
 		}
 		h.noteProbeSent(now, j)
-		h.emit(j, m)
+		h.emit(j, h.infoMessageFor(j))
 		h.touchSuspect(now, j)
 	}
 }

@@ -111,6 +111,17 @@ type Params struct {
 	// demonstrates it by running with and without.
 	DisableNonNeighborGapFill bool
 
+	// DeltaInfo enables the delta INFO optimization: periodic INFO
+	// advertisements carry only the runs gained since the last
+	// advertisement to the same peer (as MsgInfoDelta, with a full-set
+	// checksum), whenever that coding is smaller on the wire; full sets
+	// are sent for resynchronization. Receivers merge deltas
+	// monotonically and promote the reconstructed view only on a
+	// checksum match, so lost or reordered deltas degrade freshness,
+	// never correctness. The zero value keeps every INFO exchange a full
+	// MsgInfo — byte-identical to the plain paper protocol.
+	DeltaInfo bool
+
 	// BackoffBase enables the per-peer health layer when positive: a
 	// peer that fails SuspicionAfter consecutive probes (attach-ack
 	// timeouts, parent-silence timeouts) becomes suspected, and

@@ -66,6 +66,12 @@ const (
 	// one packet — the §6 "fairly obvious optimization". Bundles never
 	// nest.
 	MsgBundle
+	// MsgInfoDelta is a periodic INFO exchange carrying only the runs the
+	// sender gained since its last INFO/delta to the same peer, plus a
+	// (max, length) checksum of the full set. Sent instead of MsgInfo when
+	// Params.DeltaInfo is on and the delta coding is strictly smaller;
+	// senders periodically resynchronize with a full MsgInfo.
+	MsgInfoDelta
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +91,8 @@ func (k MsgKind) String() string {
 		return "detach"
 	case MsgBundle:
 		return "bundle"
+	case MsgInfoDelta:
+		return "info-delta"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -100,7 +108,9 @@ func (k MsgKind) IsControl() bool { return k != MsgData }
 type Message struct {
 	Kind MsgKind
 
-	// Seq and Payload are set for MsgData.
+	// Seq and Payload are set for MsgData. MsgInfoDelta reuses Seq for
+	// the maximum of the sender's full INFO set (the checksum's other
+	// half, see CheckLen).
 	Seq     seqset.Seq
 	Payload []byte
 	// GapFill marks a MsgData as a redelivery that does not claim
@@ -109,10 +119,17 @@ type Message struct {
 	GapFill bool
 
 	// Info is the sender's INFO set, for MsgInfo, MsgAttachReq, and
-	// MsgAttachAccept.
+	// MsgAttachAccept. For MsgInfoDelta it holds only the delta runs.
 	Info seqset.Set
-	// Parent is the sender's current parent pointer, for MsgInfo.
+	// Parent is the sender's current parent pointer, for MsgInfo and
+	// MsgInfoDelta.
 	Parent HostID
+
+	// CheckLen is set for MsgInfoDelta: the member count of the sender's
+	// full INFO set. Together with Seq (which a delta reuses for the full
+	// set's maximum) it lets the receiver verify its reconstructed view
+	// before trusting it for anything beyond monotone union.
+	CheckLen uint64
 
 	// Parts holds the piggybacked messages of a MsgBundle; the parts
 	// themselves are never bundles.

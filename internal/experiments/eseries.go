@@ -344,6 +344,42 @@ func ControlOverhead(seed int64) (Report, error) {
 	rep.expect(basicAcks[0] == 0, "basic sent acks with zero messages (%v)", basicAcks[0])
 	rep.expect(basicAcks[3] > 4*basicAcks[1],
 		"basic acks not growing with data volume: %v", basicAcks)
+
+	// §6 also suggests shrinking the periodic exchanges themselves. The
+	// delta INFO optimization (Params.DeltaInfo) sends only the runs
+	// gained since the last exchange to each peer; measure its effect on
+	// INFO-channel wire bytes at the heaviest data volume.
+	dt := metrics.NewTable("arm", "INFO wire bytes", "control sends", "complete")
+	var infoBytes [2]uint64
+	for arm, deltaOn := range []bool{false, true} {
+		p := core.DefaultParams()
+		p.DeltaInfo = deltaOn
+		res, err := harness.Run(harness.Scenario{
+			Name:        fmt.Sprintf("e6-delta-%v", deltaOn),
+			Seed:        seed,
+			Build:       clusteredBuild(topo.ClusteredConfig{Clusters: 3, HostsPerCluster: 3, Shape: topo.WANTree}),
+			Protocol:    harness.ProtocolTree,
+			Params:      p,
+			Messages:    150,
+			MsgInterval: interval,
+			WarmUp:      2 * time.Second,
+			Drain:       horizon - 150*interval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		infoBytes[arm] = res.InfoWireBytes
+		label := "full INFO"
+		if deltaOn {
+			label = "delta INFO"
+		}
+		dt.AddRow(label, res.InfoWireBytes, res.ControlSends(), res.Complete)
+		rep.expect(res.Complete, "%s arm did not complete delivery", label)
+	}
+	rep.addTable(dt)
+	rep.note("delta frames are sent only when strictly smaller than the full set, so the byte total can only shrink")
+	rep.expect(infoBytes[1] < infoBytes[0],
+		"delta INFO bytes %d not below full INFO bytes %d", infoBytes[1], infoBytes[0])
 	return rep, nil
 }
 

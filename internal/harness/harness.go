@@ -271,9 +271,13 @@ func (rt *Runtime) instrument() {
 			res.UnreachableSendsByKind[kind]++
 		}
 		if m, ok := env.Payload.(core.Message); ok {
-			if data, err := wire.Encode(wire.Frame{From: core.HostID(env.From), Message: m}); err == nil {
-				res.WireBytes += uint64(len(data))
+			// EncodedSize prices the frame without encoding it — this hook
+			// runs on every host-level send, so the accounting must not
+			// allocate a throwaway buffer per message.
+			if size, err := wire.EncodedSize(wire.Frame{From: core.HostID(env.From), Message: m}); err == nil {
+				res.WireBytes += uint64(size)
 			}
+			res.InfoWireBytes += infoWireBytes(core.HostID(env.From), m)
 		}
 	}
 	rt.Net.OnLinkTransmit = func(_ netsim.LinkID, class netsim.LinkClass, env netsim.Envelope) {
@@ -341,6 +345,25 @@ func classify(payload any) string {
 	default:
 		return kindOther
 	}
+}
+
+// infoWireBytes prices the INFO-channel content of one protocol message:
+// the wire size of MsgInfo/MsgInfoDelta frames, descending into bundles
+// so piggybacked INFO exchanges are counted too.
+func infoWireBytes(from core.HostID, m core.Message) uint64 {
+	switch m.Kind {
+	case core.MsgInfo, core.MsgInfoDelta:
+		if size, err := wire.EncodedSize(wire.Frame{From: from, Message: m}); err == nil {
+			return uint64(size)
+		}
+	case core.MsgBundle:
+		var total uint64
+		for _, part := range m.Parts {
+			total += infoWireBytes(from, part)
+		}
+		return total
+	}
+	return 0
 }
 
 type treeEnv struct {

@@ -69,6 +69,11 @@ type Result struct {
 	// WireBytes totals the binary wire size of all tree-protocol sends
 	// (bundled packets encode once), for packet-vs-byte comparisons.
 	WireBytes uint64
+	// InfoWireBytes restricts WireBytes to the INFO channel: full MsgInfo
+	// and MsgInfoDelta frames, counting bundle parts individually. The E6
+	// control-overhead experiment uses it to price the delta INFO
+	// optimization.
+	InfoWireBytes uint64
 	// LogicalSends counts protocol messages as opposed to packets: a
 	// piggybacked bundle is one send (packet) but len(Parts) logical
 	// messages. Without piggybacking, LogicalSends == TotalSends().

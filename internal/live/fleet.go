@@ -151,6 +151,7 @@ func (f *Fleet) runNode(n *node) {
 			n.bus.Tick(f.now())
 		case in := <-n.inbox:
 			stream, frame, err := decodeEnvelope(in.data)
+			in.release()
 			if err != nil {
 				f.Transport.mu.Lock()
 				f.Transport.decodeErrors++

@@ -17,15 +17,35 @@ import (
 	"rbcast/internal/wire"
 )
 
+// envelopePool recycles envelope buffers between Send and the consuming
+// node loop, so steady-state traffic allocates no per-frame garbage.
+var envelopePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+func getEnvelope() *[]byte { return envelopePool.Get().(*[]byte) }
+
+func putEnvelope(b *[]byte) {
+	*b = (*b)[:0]
+	envelopePool.Put(b)
+}
+
+// appendEnvelope appends a stream-prefixed wire frame to dst. On error
+// dst is returned unextended.
+func appendEnvelope(dst []byte, stream core.HostID, f wire.Frame) ([]byte, error) {
+	base := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(stream))
+	out, err := wire.AppendEncode(dst, f)
+	if err != nil {
+		return out[:base], err
+	}
+	return out, nil
+}
+
 // encodeEnvelope prefixes a wire frame with its 4-byte stream ID.
 func encodeEnvelope(stream core.HostID, f wire.Frame) ([]byte, error) {
-	frame, err := wire.Encode(f)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 0, 4+len(frame))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(stream))
-	return append(buf, frame...), nil
+	return appendEnvelope(nil, stream, f)
 }
 
 // decodeEnvelope splits a stream-prefixed wire frame.
@@ -76,6 +96,15 @@ func keyFor(a, b core.HostID) pathKey {
 type inbound struct {
 	costBit bool
 	data    []byte
+	// buf is the pooled backing store of data; release returns it once
+	// the frame has been decoded (wire.Decode copies payloads).
+	buf *[]byte
+}
+
+func (in inbound) release() {
+	if in.buf != nil {
+		putEnvelope(in.buf)
+	}
 }
 
 // Transport is the in-memory network. Safe for concurrent use.
@@ -192,8 +221,10 @@ func (t *Transport) HealAll() {
 // applying the path's failure model. It never blocks: full mailboxes
 // drop, exactly like a congested network.
 func (t *Transport) Send(from, to core.HostID, stream core.HostID, m core.Message) {
-	data, err := encodeEnvelope(stream, wire.Frame{From: from, Message: m})
+	bp := getEnvelope()
+	data, err := appendEnvelope((*bp)[:0], stream, wire.Frame{From: from, Message: m})
 	if err != nil {
+		putEnvelope(bp)
 		// Outbound messages are produced by our own protocol code; an
 		// encode failure is a bug surfaced via the counter.
 		t.mu.Lock()
@@ -201,9 +232,11 @@ func (t *Transport) Send(from, to core.HostID, stream core.HostID, m core.Messag
 		t.mu.Unlock()
 		return
 	}
+	*bp = data
 	t.mu.Lock()
 	if t.stopped {
 		t.mu.Unlock()
+		putEnvelope(bp)
 		return
 	}
 	cfg, ok := t.paths[keyFor(from, to)]
@@ -211,11 +244,13 @@ func (t *Transport) Send(from, to core.HostID, stream core.HostID, m core.Messag
 	if !ok || !ok2 || !cfg.Up {
 		t.dropped++
 		t.mu.Unlock()
+		putEnvelope(bp)
 		return
 	}
 	if cfg.LossProb > 0 && t.rng.Float64() < cfg.LossProb {
 		t.lost++
 		t.mu.Unlock()
+		putEnvelope(bp)
 		return
 	}
 	delay := cfg.Delay
@@ -225,7 +260,7 @@ func (t *Transport) Send(from, to core.HostID, stream core.HostID, m core.Messag
 	t.sent++
 	t.mu.Unlock()
 
-	msg := inbound{costBit: cfg.Expensive, data: data}
+	msg := inbound{costBit: cfg.Expensive, data: data, buf: bp}
 	time.AfterFunc(delay, func() {
 		select {
 		case inbox <- msg:
@@ -233,6 +268,7 @@ func (t *Transport) Send(from, to core.HostID, stream core.HostID, m core.Messag
 			t.mu.Lock()
 			t.dropped++
 			t.mu.Unlock()
+			msg.release()
 		}
 	})
 }

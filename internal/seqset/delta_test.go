@@ -1,0 +1,179 @@
+package seqset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRunSet builds a set shaped like real INFO state: a few runs of
+// random width separated by random gaps.
+func randomRunSet(rng *rand.Rand) Set {
+	var s Set
+	next := Seq(rng.Intn(5) + 1)
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		width := Seq(rng.Intn(40) + 1)
+		s.AddRange(next, next+width-1)
+		next += width + Seq(rng.Intn(10)+2)
+	}
+	return s
+}
+
+// TestDiffApplyDeltaRoundTrip is the delta-INFO soundness property: for
+// any base ⊆ full, ApplyDelta(Diff(full, base)) onto base reconstructs
+// full exactly. This is what lets periodic INFO frames carry only the
+// runs learned since the peer's last-known view.
+func TestDiffApplyDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		full := randomRunSet(rng)
+		// base: random subset of full, removing individual members so run
+		// structure diverges.
+		base := full.Clone()
+		full.Each(func(q Seq) bool {
+			if rng.Intn(3) == 0 {
+				base = base.Diff(FromSlice([]Seq{q}))
+			}
+			return true
+		})
+		delta := full.Diff(base)
+		got := base.Clone()
+		got.ApplyDelta(delta)
+		if !got.Equal(full) {
+			t.Fatalf("trial %d: apply(diff(full,base), base) = %v, want %v (base %v, delta %v)",
+				trial, got, full, base, delta)
+		}
+		if err := got.check(); err != nil {
+			t.Fatalf("trial %d: ApplyDelta broke invariants: %v", trial, err)
+		}
+		if err := delta.check(); err != nil {
+			t.Fatalf("trial %d: Diff broke invariants: %v", trial, err)
+		}
+	}
+}
+
+// TestDiffMatchesBruteForce pins the run-based Diff against element-wise
+// subtraction over arbitrary (not subset-related) set pairs.
+func TestDiffMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRunSet(rng)
+		b := randomRunSet(rng)
+		var want Set
+		a.Each(func(q Seq) bool {
+			if !b.Contains(q) {
+				want.Add(q)
+			}
+			return true
+		})
+		if got := a.Diff(b); !got.Equal(want) {
+			t.Fatalf("trial %d: Diff = %v, want %v (a %v, b %v)", trial, got, want, a, b)
+		}
+	}
+}
+
+// TestApplyDeltaMatchesUnion checks ApplyDelta against Union over
+// arbitrary pairs — the merge must not depend on delta ⊆-structure.
+func TestApplyDeltaMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRunSet(rng)
+		b := randomRunSet(rng)
+		want := a.Clone()
+		want.Union(b)
+		got := a.Clone()
+		got.ApplyDelta(b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: ApplyDelta = %v, Union = %v (a %v, b %v)", trial, got, want, a, b)
+		}
+		if err := got.check(); err != nil {
+			t.Fatalf("trial %d: ApplyDelta broke invariants: %v", trial, err)
+		}
+	}
+}
+
+// TestContainsAllMatchesBruteForce pins ContainsAll against per-member
+// Contains checks.
+func TestContainsAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRunSet(rng)
+		b := randomRunSet(rng)
+		want := true
+		b.Each(func(q Seq) bool {
+			if !a.Contains(q) {
+				want = false
+				return false
+			}
+			return true
+		})
+		if got := a.ContainsAll(b); got != want {
+			t.Fatalf("trial %d: ContainsAll = %v, want %v (a %v, b %v)", trial, got, want, a, b)
+		}
+		if !a.ContainsAll(a) {
+			t.Fatalf("trial %d: ContainsAll not reflexive for %v", trial, a)
+		}
+	}
+}
+
+// TestSnapshotIsolation drives random mutations against a set and a
+// pile of its snapshots, checking that no mutation on either side leaks
+// into the other (the copy-on-write contract).
+func TestSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		s := randomRunSet(rng)
+		snap := s.Snapshot()
+		frozen := s.Clone() // eager reference copy of the shared state
+		// Mutate the original in every way; the snapshot must not move.
+		for step := 0; step < 10; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.Add(Seq(rng.Intn(200) + 1))
+			case 1:
+				lo := Seq(rng.Intn(200) + 1)
+				s.AddRange(lo, lo+Seq(rng.Intn(30)))
+			case 2:
+				s.Prune(Seq(rng.Intn(100)))
+			case 3:
+				s.ApplyDelta(randomRunSet(rng))
+			}
+		}
+		if !snap.Equal(frozen) {
+			t.Fatalf("trial %d: snapshot drifted after source mutation: %v, want %v", trial, snap, frozen)
+		}
+		// And the other direction: mutating the snapshot leaves the
+		// source alone.
+		s2 := randomRunSet(rng)
+		snap2 := s2.Snapshot()
+		frozen2 := s2.Clone()
+		snap2.Add(Seq(rng.Intn(200) + 1))
+		snap2.Prune(Seq(rng.Intn(50)))
+		if !s2.Equal(frozen2) {
+			t.Fatalf("trial %d: source drifted after snapshot mutation: %v, want %v", trial, s2, frozen2)
+		}
+	}
+}
+
+// TestSnapshotOfSnapshot checks chained snapshots stay independent once
+// mutated.
+func TestSnapshotOfSnapshot(t *testing.T) {
+	s := FromRange(1, 10)
+	a := s.Snapshot()
+	b := a.Snapshot()
+	b.Add(20)
+	a.Add(30)
+	s.Add(40)
+	for _, tc := range []struct {
+		name string
+		set  Set
+		want Set
+	}{
+		{"source", s, FromSlice([]Seq{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 40})},
+		{"first", a, FromSlice([]Seq{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 30})},
+		{"second", b, FromSlice([]Seq{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20})},
+	} {
+		if !tc.set.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.name, tc.set, tc.want)
+		}
+	}
+}

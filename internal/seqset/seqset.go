@@ -28,12 +28,17 @@ type Interval struct {
 }
 
 // Set is a set of sequence numbers. The zero value is the empty set and
-// is ready to use. Sets are value types with respect to Clone; the
-// mutating methods modify the receiver in place.
+// is ready to use. The mutating methods modify the receiver in place.
+// Plain assignment shares the underlying storage; take an independent
+// copy with Clone (eager) or Snapshot (copy-on-write — O(1) until either
+// side next mutates).
 type Set struct {
 	// runs is sorted by Lo; runs never overlap and are never adjacent
 	// (runs[k].Hi+1 < runs[k+1].Lo).
 	runs []Interval
+	// cow marks runs as shared with at least one Snapshot; mutators copy
+	// the storage before writing.
+	cow bool
 }
 
 // FromRange returns the set {lo, lo+1, ..., hi}. It panics if lo is 0 or
@@ -65,6 +70,30 @@ func (s Set) Clone() Set {
 	runs := make([]Interval, len(s.runs))
 	copy(runs, s.runs)
 	return Set{runs: runs}
+}
+
+// Snapshot returns a copy of s that shares the run storage with s until
+// either side next mutates (copy-on-write). It replaces Clone on hot
+// paths where the copy is usually read-only — e.g. stamping the current
+// INFO set onto an outgoing message.
+func (s *Set) Snapshot() Set {
+	if len(s.runs) == 0 {
+		return Set{}
+	}
+	s.cow = true
+	return Set{runs: s.runs, cow: true}
+}
+
+// materialize gives s private run storage; every mutator calls it before
+// writing (or appending — a shared backing array must not grow in place).
+func (s *Set) materialize() {
+	if !s.cow {
+		return
+	}
+	runs := make([]Interval, len(s.runs))
+	copy(runs, s.runs)
+	s.runs = runs
+	s.cow = false
 }
 
 // Empty reports whether the set has no members.
@@ -115,6 +144,7 @@ func (s *Set) Add(q Seq) bool {
 	if q == 0 || s.Contains(q) {
 		return false
 	}
+	s.materialize()
 	// Index of the first run with Hi >= q-1, i.e. the first run that q
 	// could extend or precede.
 	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi+1 >= q })
@@ -156,6 +186,7 @@ func (s *Set) AddRange(lo, hi Seq) {
 	if lo == 0 || lo > hi {
 		panic(fmt.Sprintf("seqset: invalid range [%d,%d]", lo, hi))
 	}
+	s.materialize()
 	// First run that [lo, hi] can touch: Hi ≥ lo-1 (overlap or adjacency;
 	// lo ≥ 1 keeps the subtraction safe).
 	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi >= lo-1 })
@@ -195,16 +226,90 @@ func (s *Set) Union(other Set) {
 }
 
 // Diff returns the members of s that are not members of other, as a new
-// set.
+// set. It walks the two run codings in lockstep, so the cost is
+// O(r_s + r_other) in run counts — independent of how many sequence
+// numbers the runs span.
 func (s Set) Diff(other Set) Set {
 	var out Set
-	s.Each(func(q Seq) bool {
-		if !other.Contains(q) {
-			out.Add(q)
+	j := 0
+	for _, r := range s.runs {
+		lo := r.Lo
+		for lo <= r.Hi {
+			for j < len(other.runs) && other.runs[j].Hi < lo {
+				j++
+			}
+			if j == len(other.runs) || other.runs[j].Lo > r.Hi {
+				// Nothing left in other can intersect [lo, r.Hi].
+				out.runs = append(out.runs, Interval{Lo: lo, Hi: r.Hi})
+				break
+			}
+			o := other.runs[j]
+			if o.Lo > lo {
+				out.runs = append(out.runs, Interval{Lo: lo, Hi: o.Lo - 1})
+			}
+			if o.Hi >= r.Hi {
+				break
+			}
+			lo = o.Hi + 1
 		}
-		return true
-	})
+	}
+	// The output runs inherit s's ordering, and removing members only
+	// widens gaps, so the run invariants hold by construction.
 	return out
+}
+
+// ApplyDelta adds every member of delta to s via a linear merge of the
+// two run codings: O(r_s + r_delta), versus Union's per-run insertion.
+// It is the receiving half of the delta INFO exchange — the sender
+// computes Diff(current, lastAcked), the receiver applies it here.
+func (s *Set) ApplyDelta(delta Set) {
+	if len(delta.runs) == 0 {
+		return
+	}
+	if len(s.runs) == 0 {
+		s.runs = make([]Interval, len(delta.runs))
+		copy(s.runs, delta.runs)
+		s.cow = false
+		return
+	}
+	merged := make([]Interval, 0, len(s.runs)+len(delta.runs))
+	i, j := 0, 0
+	for i < len(s.runs) || j < len(delta.runs) {
+		var next Interval
+		if j == len(delta.runs) || (i < len(s.runs) && s.runs[i].Lo <= delta.runs[j].Lo) {
+			next = s.runs[i]
+			i++
+		} else {
+			next = delta.runs[j]
+			j++
+		}
+		if n := len(merged); n > 0 && (merged[n-1].Hi+1 == 0 || next.Lo <= merged[n-1].Hi+1) {
+			// Overlapping or adjacent: coalesce. (Hi+1 == 0 means the run
+			// already reaches the maximal Seq and absorbs everything.)
+			if next.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = next.Hi
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	s.runs = merged
+	s.cow = false
+}
+
+// ContainsAll reports whether every member of other is a member of s.
+// Cost is O(r_s + r_other) in run counts.
+func (s Set) ContainsAll(other Set) bool {
+	j := 0
+	for _, o := range other.runs {
+		for j < len(s.runs) && s.runs[j].Hi < o.Lo {
+			j++
+		}
+		if j == len(s.runs) || s.runs[j].Lo > o.Lo || s.runs[j].Hi < o.Hi {
+			return false
+		}
+	}
+	return true
 }
 
 // Equal reports whether s and other have identical membership.
@@ -272,6 +377,11 @@ func (s Set) GapCount() int {
 	return int(s.Max()) - s.Len()
 }
 
+// Run returns the i-th interval of the run coding, 0 ≤ i < RunCount().
+// Together with RunCount it lets encoders walk the runs without the
+// allocation Intervals makes.
+func (s Set) Run(i int) Interval { return s.runs[i] }
+
 // Intervals returns a copy of the interval coding.
 func (s Set) Intervals() []Interval {
 	out := make([]Interval, len(s.runs))
@@ -296,9 +406,10 @@ func FromIntervals(ivs []Interval) (Set, error) {
 // Prune removes all members ≤ upTo. The paper (§6) notes INFO sets can be
 // pruned of prefixes known to be globally delivered.
 func (s *Set) Prune(upTo Seq) {
-	if upTo == 0 {
+	if upTo == 0 || len(s.runs) == 0 || s.runs[0].Lo > upTo {
 		return
 	}
+	s.materialize()
 	i := 0
 	for i < len(s.runs) && s.runs[i].Hi <= upTo {
 		i++

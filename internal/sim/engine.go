@@ -5,10 +5,18 @@
 // were scheduled, which — together with a single seeded random source —
 // makes every simulation run fully reproducible: the same seed and the
 // same scenario produce the same event sequence, byte for byte.
+//
+// The queue is built for hot-loop throughput: a 4-ary implicit heap (no
+// interface boxing, shallower than a binary heap), cancellation cells
+// recycled through a free list instead of allocated per event, and
+// compaction that sweeps canceled entries out of the heap once they
+// outnumber live ones — so timer-churn-heavy runs (backoff scheduling,
+// long recovery soaks) stay allocation-light and bounded in memory. None
+// of this affects event order: events always fire in strict
+// (time, insertion order) sequence.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -26,44 +34,41 @@ type scheduledEvent struct {
 	at  time.Duration
 	seq uint64 // insertion order; tie-break for same-instant events
 	fn  Event
-	// canceled events stay in the heap but are skipped when popped.
-	canceled *bool
+	// cell carries the cancellation flag; recycled via the engine's free
+	// list once the event pops.
+	cell *cancelCell
 }
 
-type eventHeap []scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = scheduledEvent{}
-	*h = old[:n-1]
-	return ev
+// cancelCell is the shared state between a Timer and its scheduled
+// event. Cells are recycled: gen increments on every release, so a Timer
+// holding a stale cell (its event already fired or was compacted away)
+// cancels nothing.
+type cancelCell struct {
+	canceled bool
+	// inHeap reports whether the cell's event currently sits in the event
+	// queue; only those cancellations count toward the compaction
+	// threshold.
+	inHeap bool
+	gen    uint64
 }
 
 // Timer is a handle to a scheduled event that can be canceled.
 type Timer struct {
-	canceled *bool
+	e    *Engine
+	cell *cancelCell
+	gen  uint64
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. Cancel on the zero Timer is a no-op.
 func (t Timer) Cancel() {
-	if t.canceled != nil {
-		*t.canceled = true
+	if t.cell == nil || t.cell.gen != t.gen || t.cell.canceled {
+		return
+	}
+	t.cell.canceled = true
+	if t.cell.inHeap && t.e != nil {
+		t.e.canceledPending++
+		t.e.maybeCompact()
 	}
 }
 
@@ -72,10 +77,15 @@ func (t Timer) Cancel() {
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	events  []scheduledEvent // 4-ary min-heap on (at, seq)
 	rng     *detrand.Rand
 	stopped bool
 	ran     uint64
+
+	// canceledPending counts canceled events still occupying heap slots;
+	// maybeCompact sweeps them once they outnumber live entries.
+	canceledPending int
+	freeCells       []*cancelCell
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -94,8 +104,27 @@ func (e *Engine) Rand() *detrand.Rand { return e.rng }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending reports the number of events currently scheduled (including
-// canceled events not yet popped).
+// canceled events not yet popped or compacted away).
 func (e *Engine) Pending() int { return len(e.events) }
+
+func (e *Engine) getCell() *cancelCell {
+	if n := len(e.freeCells); n > 0 {
+		c := e.freeCells[n-1]
+		e.freeCells[n-1] = nil
+		e.freeCells = e.freeCells[:n-1]
+		c.canceled = false
+		return c
+	}
+	return new(cancelCell)
+}
+
+// releaseCell retires a cell once its event left the heap. Bumping gen
+// invalidates every outstanding Timer for it before reuse.
+func (e *Engine) releaseCell(c *cancelCell) {
+	c.inHeap = false
+	c.gen++
+	e.freeCells = append(e.freeCells, c)
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero. It returns a Timer that can cancel the event.
@@ -106,15 +135,115 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	canceled := new(bool)
+	cell := e.getCell()
+	cell.inHeap = true
 	e.seq++
-	heap.Push(&e.events, scheduledEvent{
-		at:       e.now + delay,
-		seq:      e.seq,
-		fn:       fn,
-		canceled: canceled,
-	})
-	return Timer{canceled: canceled}
+	e.push(scheduledEvent{at: e.now + delay, seq: e.seq, fn: fn, cell: cell})
+	return Timer{e: e, cell: cell, gen: cell.gen}
+}
+
+// The event queue is a 4-ary implicit min-heap: children of slot i live
+// at 4i+1..4i+4. The wider fan-out roughly halves the sift depth of a
+// binary heap and keeps hot comparisons within one cache line of
+// siblings.
+
+func (e *Engine) less(a, b scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev scheduledEvent) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ev
+}
+
+// popRoot removes the heap minimum (the caller has already read it from
+// slot 0).
+func (e *Engine) popRoot() {
+	h := e.events
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // release fn and cell references
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+// compactMin is the heap size below which compaction is not worth the
+// sweep; small heaps drain canceled entries quickly on their own.
+const compactMin = 64
+
+// maybeCompact sweeps canceled events out of the queue once they exceed
+// half the heap, then restores the heap property. Without it, workloads
+// that schedule and cancel timers en masse (exponential backoff across
+// many peers) grow the queue without bound. Pop order is unaffected:
+// live events keep their (at, seq) keys.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMin || 2*e.canceledPending <= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cell.canceled {
+			e.releaseCell(ev.cell)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = scheduledEvent{}
+	}
+	e.events = kept
+	e.canceledPending = 0
+	// Bottom-up heapify: O(n), independent of the removal pattern.
+	for i := (len(kept) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Stop makes the currently running Run/RunUntilIdle return after the
@@ -128,10 +257,13 @@ func (e *Engine) step(limit time.Duration, bounded bool) (bool, error) {
 		if bounded && next.at > limit {
 			return false, nil
 		}
-		heap.Pop(&e.events)
-		if *next.canceled {
+		e.popRoot()
+		if next.cell.canceled {
+			e.canceledPending--
+			e.releaseCell(next.cell)
 			continue
 		}
+		e.releaseCell(next.cell)
 		if next.at > e.now {
 			e.now = next.at
 		}
@@ -175,19 +307,22 @@ func (e *Engine) Every(period time.Duration, fn Event) Timer {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: Every called with period %v", period))
 	}
-	canceled := new(bool)
+	// The cell is private to this periodic chain (never enters the heap,
+	// never recycled), so the returned Timer stays valid for the chain's
+	// whole lifetime.
+	cell := new(cancelCell)
 	var tick Event
 	tick = func() {
-		if *canceled {
+		if cell.canceled {
 			return
 		}
 		fn()
-		if !*canceled {
+		if !cell.canceled {
 			e.Schedule(period, tick)
 		}
 	}
 	e.Schedule(period, tick)
-	return Timer{canceled: canceled}
+	return Timer{e: e, cell: cell, gen: cell.gen}
 }
 
 // RunUntilIdle executes events until none remain. It returns ErrStopped

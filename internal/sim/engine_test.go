@@ -290,3 +290,98 @@ func TestPending(t *testing.T) {
 		t.Errorf("Pending() = %d after drain, want 0", got)
 	}
 }
+
+// TestCompactionAfterMassCancel verifies that canceling most of a large
+// timer burst shrinks the heap immediately instead of leaving the
+// canceled entries queued until their deadlines pop — the unbounded
+// growth long backoff-heavy soaks used to exhibit.
+func TestCompactionAfterMassCancel(t *testing.T) {
+	e := NewEngine(1)
+	const n = 1024
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.Schedule(time.Duration(i+1)*time.Second, func() {}))
+	}
+	live := 0
+	for i, tm := range timers {
+		if i%16 == 0 {
+			live++
+			continue
+		}
+		tm.Cancel()
+	}
+	if got := e.Pending(); got >= n/2 {
+		t.Fatalf("Pending() = %d after mass cancel, want < %d (heap did not compact)", got, n/2)
+	}
+	if got := e.Pending(); got < live {
+		t.Fatalf("Pending() = %d, want >= %d live events", got, live)
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(e.EventsRun()); got != live {
+		t.Fatalf("EventsRun() = %d, want %d (only live events fire)", got, live)
+	}
+}
+
+// TestCancelOrderPreserved checks that compaction does not disturb the
+// (time, insertion order) firing sequence of the surviving events.
+func TestCancelOrderPreserved(t *testing.T) {
+	e := NewEngine(1)
+	const n = 512
+	var got []int
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		// Colliding deadlines (i/4) exercise the seq tie-break.
+		timers = append(timers, e.Schedule(time.Duration(i/4)*time.Millisecond, func() {
+			got = append(got, i)
+		}))
+	}
+	for i, tm := range timers {
+		if i%3 != 0 {
+			tm.Cancel()
+		}
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for i := 0; i < n; i += 3 {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCancelAfterFireIsNoOp pins the recycled-cell semantics: a Timer
+// whose event already fired (and whose cell may since have been reused
+// by a new event) must not cancel anything.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	fired1 := false
+	t1 := e.Schedule(time.Millisecond, func() { fired1 = true })
+	if err := e.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired1 {
+		t.Fatal("first event did not fire")
+	}
+	// The second Schedule reuses the first event's cell from the free
+	// list; the stale timer must not be able to cancel it.
+	fired2 := false
+	e.Schedule(time.Millisecond, func() { fired2 = true })
+	t1.Cancel()
+	if err := e.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired2 {
+		t.Fatal("stale Timer.Cancel killed an unrelated event")
+	}
+}

@@ -12,6 +12,18 @@ import (
 // deterministic packages). A diverging trace here means seeded replay
 // and shrinking are silently broken even if per-seed pass/fail agrees.
 func TestSameSeedIdenticalEventTrace(t *testing.T) {
+	checkSameSeedTrace(t, false)
+}
+
+// The delta INFO path adds per-peer sender/receiver state (last-sent
+// snapshots, reconstructed views) that must be just as deterministic as
+// the plain protocol: same seed, same traces, same wire-byte totals.
+func TestSameSeedIdenticalEventTraceDeltaInfo(t *testing.T) {
+	checkSameSeedTrace(t, true)
+}
+
+func checkSameSeedTrace(t *testing.T, deltaInfo bool) {
+	t.Helper()
 	run := func() *harness.Result {
 		t.Helper()
 		sp := NewSpec(ClassPartitionTrap, 7)
@@ -20,6 +32,7 @@ func TestSameSeedIdenticalEventTrace(t *testing.T) {
 			t.Fatalf("Scenario: %v", err)
 		}
 		sc.CollectEvents = true
+		sc.Params.DeltaInfo = deltaInfo
 		res, err := harness.Run(sc)
 		if err != nil {
 			t.Fatalf("Run: %v", err)
@@ -44,5 +57,9 @@ func TestSameSeedIdenticalEventTrace(t *testing.T) {
 		t.Fatalf("summary stats differ: (%d,%v,%v) vs (%d,%v,%v)",
 			a.DeliveredCount, a.Complete, a.CompletionAt,
 			b.DeliveredCount, b.Complete, b.CompletionAt)
+	}
+	if a.WireBytes != b.WireBytes || a.InfoWireBytes != b.InfoWireBytes {
+		t.Fatalf("wire-byte totals differ: (%d,%d) vs (%d,%d)",
+			a.WireBytes, a.InfoWireBytes, b.WireBytes, b.InfoWireBytes)
 	}
 }

@@ -35,6 +35,13 @@ const headerLen = 8
 // loss.
 const maxDatagram = 64 * 1024
 
+// sendBufPool recycles datagram build buffers; WriteToUDP finishes with
+// the buffer before returning, so it can go straight back to the pool.
+var sendBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // NodeConfig assembles one UDP protocol node.
 type NodeConfig struct {
 	// ID and Source identify this host and the broadcast source.
@@ -170,16 +177,17 @@ func (e *nodeEnv) Send(to core.HostID, m core.Message) {
 	if !ok {
 		return
 	}
-	frame, err := wire.Encode(wire.Frame{From: n.cfg.ID, Message: m})
+	bp := sendBufPool.Get().(*[]byte)
+	defer sendBufPool.Put(bp)
+	buf := binary.BigEndian.AppendUint64((*bp)[:0], uint64(time.Now().UnixNano()))
+	buf, err := wire.AppendEncode(buf, wire.Frame{From: n.cfg.ID, Message: m})
+	*bp = buf
 	if err != nil {
 		n.stats.Lock()
 		n.stats.sendErrors++
 		n.stats.Unlock()
 		return
 	}
-	buf := make([]byte, 0, headerLen+len(frame))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(time.Now().UnixNano()))
-	buf = append(buf, frame...)
 	if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
 		n.stats.Lock()
 		n.stats.sendErrors++

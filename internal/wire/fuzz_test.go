@@ -26,6 +26,9 @@ func FuzzDecode(f *testing.F) {
 			{Kind: core.MsgInfo, Info: seqset.FromRange(1, 3)},
 			{Kind: core.MsgData, Seq: 2, Payload: []byte("p"), GapFill: true},
 		}}},
+		{From: 9, Message: core.Message{Kind: core.MsgInfoDelta,
+			Info: seqset.FromSlice([]seqset.Seq{8, 9, 11}), Parent: 3,
+			Seq: 11, CheckLen: 10}},
 	}
 	for _, fr := range seedFrames {
 		data, err := wire.Encode(fr)
@@ -55,6 +58,7 @@ func FuzzDecode(f *testing.F) {
 			again.Message.Seq != frame.Message.Seq ||
 			again.Message.GapFill != frame.Message.GapFill ||
 			again.Message.Parent != frame.Message.Parent ||
+			again.Message.CheckLen != frame.Message.CheckLen ||
 			string(again.Message.Payload) != string(frame.Message.Payload) ||
 			!again.Message.Info.Equal(frame.Message.Info) ||
 			len(again.Message.Parts) != len(frame.Message.Parts) {

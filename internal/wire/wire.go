@@ -24,7 +24,15 @@
 //	uint32  part count, then per part: uint32 length + encoded sub-frame
 //
 // Sub-frames are complete frames of non-bundle kinds (bundles never
-// nest).
+// nest). Delta INFO frames (kind = MsgInfoDelta) additionally carry:
+//
+//	uint64  full-set member count (the CheckLen checksum half; the
+//	        sequence-number header slot holds the full-set maximum)
+//
+// The hot path is AppendEncode, which appends into a caller-owned buffer
+// and allocates nothing; Encode is a convenience wrapper, and
+// EncodedSize prices a frame without encoding it (the simulator's
+// bytes-on-wire accounting).
 package wire
 
 import (
@@ -75,33 +83,77 @@ type Frame struct {
 func knownKind(k core.MsgKind) bool {
 	switch k {
 	case core.MsgData, core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
-		core.MsgAttachReject, core.MsgDetach, core.MsgBundle:
+		core.MsgAttachReject, core.MsgDetach, core.MsgBundle, core.MsgInfoDelta:
 		return true
 	}
 	return false
 }
 
-// Encode renders a frame to bytes.
-func Encode(f Frame) ([]byte, error) {
+// checkEncodable validates the frame fields shared by AppendEncode and
+// EncodedSize.
+func checkEncodable(f Frame) error {
 	if !knownKind(f.Message.Kind) {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Message.Kind)
+		return fmt.Errorf("%w: %d", ErrBadKind, f.Message.Kind)
 	}
 	if f.Message.Kind != core.MsgBundle && len(f.Message.Parts) > 0 {
-		return nil, fmt.Errorf("wire: non-bundle frame carries %d parts", len(f.Message.Parts))
+		return fmt.Errorf("wire: non-bundle frame carries %d parts", len(f.Message.Parts))
 	}
 	if len(f.Message.Parts) > MaxParts {
-		return nil, fmt.Errorf("%w: %d parts", ErrTooLarge, len(f.Message.Parts))
+		return fmt.Errorf("%w: %d parts", ErrTooLarge, len(f.Message.Parts))
 	}
 	if len(f.Message.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Message.Payload))
+		return fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Message.Payload))
 	}
-	ivs := f.Message.Info.Intervals()
-	if len(ivs) > MaxIntervals {
-		return nil, fmt.Errorf("%w: %d intervals", ErrTooLarge, len(ivs))
+	if n := f.Message.Info.RunCount(); n > MaxIntervals {
+		return fmt.Errorf("%w: %d intervals", ErrTooLarge, n)
 	}
-	size := headerLen + 4 + len(f.Message.Payload) + 4 + 16*len(ivs)
-	buf := make([]byte, 0, size)
+	return nil
+}
 
+// EncodedSize returns the exact byte length AppendEncode would produce
+// for f, without encoding. The simulator's bytes-on-wire metrics price
+// every logical send through here.
+func EncodedSize(f Frame) (int, error) {
+	if err := checkEncodable(f); err != nil {
+		return 0, err
+	}
+	size := headerLen + 4 + len(f.Message.Payload) + 4 + 16*f.Message.Info.RunCount()
+	if f.Message.Kind == core.MsgInfoDelta {
+		size += 8
+	}
+	if f.Message.Kind == core.MsgBundle {
+		size += 4
+		for _, part := range f.Message.Parts {
+			if part.Kind == core.MsgBundle {
+				return 0, fmt.Errorf("wire: nested bundle")
+			}
+			sub, err := EncodedSize(Frame{From: f.From, Message: part})
+			if err != nil {
+				return 0, err
+			}
+			size += 4 + sub
+		}
+	}
+	return size, nil
+}
+
+// AppendEncode appends the encoding of f to dst and returns the extended
+// buffer. It allocates only when dst lacks capacity, so a caller reusing
+// buffers (see internal/udp, internal/live) encodes with zero garbage.
+// On error dst is returned truncated to its original length.
+func AppendEncode(dst []byte, f Frame) ([]byte, error) {
+	base := len(dst)
+	out, err := appendFrame(dst, f)
+	if err != nil {
+		return dst[:base], err
+	}
+	return out, nil
+}
+
+func appendFrame(buf []byte, f Frame) ([]byte, error) {
+	if err := checkEncodable(f); err != nil {
+		return buf, err
+	}
 	var flags byte
 	if f.Message.GapFill {
 		flags |= flagGapFill
@@ -112,26 +164,44 @@ func Encode(f Frame) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(f.Message.Seq))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Message.Payload)))
 	buf = append(buf, f.Message.Payload...)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ivs)))
-	for _, iv := range ivs {
+	n := f.Message.Info.RunCount()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i++ {
+		iv := f.Message.Info.Run(i)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Lo))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Hi))
+	}
+	if f.Message.Kind == core.MsgInfoDelta {
+		buf = binary.BigEndian.AppendUint64(buf, f.Message.CheckLen)
 	}
 	if f.Message.Kind == core.MsgBundle {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Message.Parts)))
 		for _, part := range f.Message.Parts {
 			if part.Kind == core.MsgBundle {
-				return nil, fmt.Errorf("wire: nested bundle")
+				return buf, fmt.Errorf("wire: nested bundle")
 			}
-			sub, err := Encode(Frame{From: f.From, Message: part})
+			// Reserve the length prefix, encode the sub-frame in place,
+			// then patch the prefix — no temporary buffer.
+			lenAt := len(buf)
+			buf = append(buf, 0, 0, 0, 0)
+			var err error
+			buf, err = appendFrame(buf, Frame{From: f.From, Message: part})
 			if err != nil {
-				return nil, err
+				return buf, err
 			}
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub)))
-			buf = append(buf, sub...)
+			binary.BigEndian.PutUint32(buf[lenAt:lenAt+4], uint32(len(buf)-lenAt-4))
 		}
 	}
 	return buf, nil
+}
+
+// Encode renders a frame to a freshly allocated buffer.
+func Encode(f Frame) ([]byte, error) {
+	size, err := EncodedSize(f)
+	if err != nil {
+		return nil, err
+	}
+	return AppendEncode(make([]byte, 0, size), f)
 }
 
 // Decode parses a frame, rejecting malformed or oversized input.
@@ -189,6 +259,14 @@ func Decode(data []byte) (Frame, error) {
 		return f, fmt.Errorf("wire: %w", err)
 	}
 	f.Message.Info = info
+
+	if kind == core.MsgInfoDelta {
+		if len(rest) < 8 {
+			return f, ErrTruncated
+		}
+		f.Message.CheckLen = binary.BigEndian.Uint64(rest[:8])
+		rest = rest[8:]
+	}
 
 	if kind == core.MsgBundle {
 		if len(rest) < 4 {
