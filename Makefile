@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check soak fuzz fuzz-smoke bench-json bench-smoke clean
+.PHONY: all build vet lint lint-sarif test race check soak fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -10,10 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the protocol-aware analyzer suite (detlint, locklint,
-# paramlint, wirelint); see internal/analysis/README.md.
+# lint runs the protocol-aware analyzer suite (detlint, leaklint,
+# locklint, monolint, paramlint, taintlint, wirelint) against the
+# committed baseline; see internal/analysis/README.md. New findings fail
+# the run; accepted ones live in .rblint-baseline.json.
 lint:
-	$(GO) run ./cmd/rblint ./...
+	$(GO) run ./cmd/rblint -baseline .rblint-baseline.json ./...
+
+# lint-sarif is the CI flavor: same run, but also writes rblint.sarif
+# for code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/rblint -baseline .rblint-baseline.json -sarif rblint.sarif ./...
 
 test:
 	$(GO) test ./...

@@ -58,3 +58,5 @@ func BenchmarkSeqsetDiff(b *testing.B)           { bench.SeqsetDiff(b) }
 func BenchmarkWireEncodeInfo(b *testing.B)       { bench.WireEncodeInfo(b) }
 func BenchmarkWireAppendEncodeInfo(b *testing.B) { bench.WireAppendEncodeInfo(b) }
 func BenchmarkWireDecodeInfo(b *testing.B)       { bench.WireDecodeInfo(b) }
+func BenchmarkWireCodecKinds(b *testing.B)       { bench.WireCodecKinds(b) }
+func BenchmarkRBLintSuite(b *testing.B)          { bench.RBLintSuite(b) }

@@ -5,10 +5,22 @@
 // Usage:
 //
 //	go run ./cmd/rblint ./...
-//	go run ./cmd/rblint internal/core internal/wire/...
+//	go run ./cmd/rblint -json ./...
+//	go run ./cmd/rblint -sarif out.sarif ./...
+//	go run ./cmd/rblint -baseline .rblint-baseline.json ./...
+//	go run ./cmd/rblint -baseline .rblint-baseline.json -write-baseline ./...
+//	go run ./cmd/rblint -fix ./...
 //
-// With no patterns, ./... is analyzed. See internal/analysis/README.md
-// for the analyzer catalog and the ignore-directive syntax.
+// With no patterns, ./... is analyzed. With -baseline, findings already
+// recorded in the baseline file are reported as "baselined" but do not
+// fail the run — only new findings do. -write-baseline rewrites the
+// baseline to accept the current findings. -fix applies suggested fixes
+// (currently: deleting stale //rblint:ignore directives) in place.
+//
+// Exit status: 0 when clean (or all findings baselined / fixed), 1 when
+// new findings remain, 2 on operational error. See
+// internal/analysis/README.md for the analyzer catalog and the
+// ignore-directive syntax.
 package main
 
 import (
@@ -21,12 +33,18 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 log to `file` (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "fail only on findings not recorded in the baseline `file`")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file to accept current findings")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rblint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rblint [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,19 +54,83 @@ func main() {
 		}
 		return
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "rblint: -write-baseline requires -baseline")
+		os.Exit(2)
+	}
 
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rblint:", err)
 		os.Exit(2)
 	}
-	diags, fset, err := analysis.Run(wd, flag.Args()...)
+	diags, fset, modRoot, err := analysis.Run(wd, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rblint:", err)
 		os.Exit(2)
 	}
-	if len(diags) > 0 {
-		analysis.Print(os.Stdout, fset, diags)
+
+	if *fix {
+		applied, err := analysis.ApplyFixes(fset, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rblint:", err)
+			os.Exit(2)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "rblint: applied %d suggested fix(es); re-run to see remaining findings\n", applied)
+		}
+	}
+
+	// SARIF always carries the full finding set — code-scanning UIs do
+	// their own baseline bookkeeping against it.
+	if *sarifPath != "" {
+		out := os.Stdout
+		if *sarifPath != "-" {
+			f, err := os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rblint:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := analysis.WriteSARIF(out, fset, modRoot, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rblint:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(*baselinePath, fset, modRoot, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rblint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rblint: wrote %s (%d finding(s) accepted)\n", *baselinePath, len(diags))
+		return
+	}
+
+	fresh, known := diags, []analysis.Diagnostic(nil)
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rblint:", err)
+			os.Exit(2)
+		}
+		fresh, known = baseline.Filter(fset, modRoot, diags)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, fset, modRoot, fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "rblint:", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.Print(os.Stdout, fset, fresh)
+	}
+	if len(known) > 0 {
+		fmt.Fprintf(os.Stderr, "rblint: %d baselined finding(s) suppressed\n", len(known))
+	}
+	if len(fresh) > 0 {
 		os.Exit(1)
 	}
 }

@@ -46,7 +46,7 @@ type Analyzer struct {
 // Analyzers lists every analyzer in the suite, in the order the driver
 // runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetLint, LockLint, ParamLint, WireLint}
+	return []*Analyzer{DetLint, LeakLint, LockLint, MonoLint, ParamLint, TaintLint, WireLint}
 }
 
 // analyzerNames returns the set of valid analyzer names for directive
@@ -83,13 +83,21 @@ type Pass struct {
 // position, and message — e.g. from nested map-range loops both seeing
 // one emit call) are recorded once.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	d := Diagnostic{
+	p.Report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report records one finding, with the same deduplication as Reportf.
+// The Analyzer field is filled in if left empty.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
 	}
 	for _, have := range p.diagnostics {
-		if have == d {
+		if have.Analyzer == d.Analyzer && have.Pos == d.Pos && have.Message == d.Message {
 			return
 		}
 	}
@@ -103,6 +111,24 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	// SuggestedFixes, when present, are machine-applicable edits that
+	// resolve the finding (applied by rblint -fix).
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one way to resolve a diagnostic: a set of text edits
+// that must be applied together.
+type SuggestedFix struct {
+	// Message describes the fix ("delete the stale directive").
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source text in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // sortDiagnostics orders findings by file position for stable output.

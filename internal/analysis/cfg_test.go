@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses one function and builds its graph.
+func buildTestCFG(t *testing.T, fn string) *CFG {
+	t.Helper()
+	src := "package p\n\n" + fn
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return buildCFG(fd.Name.Name, fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// TestCFGGolden pins the graph shape for the structures the flow
+// analyzers lean on: loop back edges, labeled break targets, panic
+// blocks with no successors, defers recorded on the graph, switch
+// fallthrough chains, and goto. The dump format is CFG.String(): one
+// line per block, "b<i> <kind>: {nodes} -> succs".
+func TestCFGGolden(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if-else",
+			src: `func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`,
+			want: `f:
+  b0 entry: {x > 0} -> b2 b3
+  b1 exit:
+  b2 if.then: {x++} -> b4
+  b3 if.else: {x--} -> b4
+  b4 if.done: {return x} -> b1
+`,
+		},
+		{
+			name: "for-loop-with-post",
+			src: `func f(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	_ = s
+}`,
+			want: `f:
+  b0 entry: {s := 0; i := 0} -> b2
+  b1 exit:
+  b2 for.head: {i < n} -> b3 b5
+  b3 for.body: {s += i} -> b4
+  b4 for.post: {i++} -> b2
+  b5 for.done: {_ = s} -> b1
+`,
+		},
+		{
+			name: "range-shallow-header",
+			src: `func f(xs []int) {
+	for _, x := range xs {
+		_ = x
+	}
+}`,
+			want: `f:
+  b0 entry: -> b2
+  b1 exit:
+  b2 range.head: {range xs} -> b3 b4
+  b3 range.body: {_ = x} -> b2
+  b4 range.done: -> b1
+`,
+		},
+		{
+			name: "labeled-break",
+			src: `func f(xs []int) {
+outer:
+	for {
+		for _, x := range xs {
+			if x == 0 {
+				break outer
+			}
+		}
+	}
+}`,
+			want: `f:
+  b0 entry: -> b2
+  b1 exit:
+  b2 label.outer: -> b3
+  b3 for.head: -> b4
+  b4 for.body: -> b6
+  b5 for.done: -> b1
+  b6 range.head: {range xs} -> b7 b8
+  b7 range.body: {x == 0} -> b9 b10
+  b8 range.done: -> b3
+  b9 if.then: {break outer} -> b5
+  b10 if.done: -> b6
+`,
+		},
+		{
+			name: "panic-no-successor",
+			src: `func f(ok bool) {
+	if !ok {
+		panic("bad")
+	}
+	return
+}`,
+			want: `f:
+  b0 entry: {!ok} -> b2 b3
+  b1 exit:
+  b2 if.then: {panic("bad")}
+  b3 if.done: {return} -> b1
+`,
+		},
+		{
+			name: "defer-recorded",
+			src: `func f() {
+	defer cleanup()
+	work()
+}`,
+			want: `f:
+  b0 entry: {defer cleanup(); work()} -> b1
+  b1 exit:
+`,
+		},
+		{
+			name: "switch-fallthrough",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+}`,
+			want: `f:
+  b0 entry: {x} -> b3 b4 b5
+  b1 exit:
+  b2 switch.done: -> b1
+  b3 switch.case: {1; a(); fallthrough} -> b4
+  b4 switch.case: {2; b()} -> b2
+  b5 switch.case: {c()} -> b2
+`,
+		},
+		{
+			name: "goto-backward",
+			src: `func f() {
+retry:
+	if attempt() {
+		return
+	}
+	goto retry
+}`,
+			want: `f:
+  b0 entry: -> b2
+  b1 exit:
+  b2 label.retry: {attempt()} -> b3 b4
+  b3 if.then: {return} -> b1
+  b4 if.done: {goto retry} -> b2
+`,
+		},
+		{
+			name: "select-with-stop-case",
+			src: `func f(stop chan struct{}, c chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-c:
+			use(v)
+		}
+	}
+}`,
+			want: `f:
+  b0 entry: -> b2
+  b1 exit:
+  b2 for.head: -> b3
+  b3 for.body: -> b6 b7
+  b4 for.done: -> b1
+  b5 select.done: -> b2
+  b6 select.case: {<-stop; return} -> b1
+  b7 select.case: {v := <-c; use(v)} -> b5
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := buildTestCFG(t, tt.src)
+			if got := cfg.String(); got != tt.want {
+				t.Errorf("graph mismatch:\n--- got ---\n%s--- want ---\n%s", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefers pins defer registration order on the Defers list.
+func TestCFGDefers(t *testing.T) {
+	cfg := buildTestCFG(t, `func f() {
+	defer first()
+	if cond() {
+		defer second()
+	}
+}`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("Defers = %d entries, want 2", len(cfg.Defers))
+	}
+	for i, want := range []string{"first", "second"} {
+		call := cfg.Defers[i].Call
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != want {
+			t.Errorf("Defers[%d] = %s, want call to %s", i, nodeString(cfg.Defers[i]), want)
+		}
+	}
+}
+
+// TestCFGReachableAvoid pins the avoid semantics reachableFrom gives the
+// analyzers: an avoided block is reached but not crossed.
+func TestCFGReachableAvoid(t *testing.T) {
+	cfg := buildTestCFG(t, `func f(ok bool) {
+	if ok {
+		guard()
+	}
+	sink()
+}`)
+	// Avoiding the then-block (the guard) must still reach the exit via
+	// the else edge.
+	var thenBlk *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Kind == "if.then" {
+			thenBlk = blk
+		}
+	}
+	if thenBlk == nil {
+		t.Fatal("no if.then block")
+	}
+	reached := reachableFrom([]*Block{cfg.Entry()}, func(b *Block) bool { return b == thenBlk })
+	if !reached[thenBlk] {
+		t.Error("avoided block should still be marked reached")
+	}
+	if !reached[cfg.Exit()] {
+		t.Error("exit should stay reachable around the avoided block")
+	}
+
+	// A graph where EVERY path crosses the guard must not reach the exit.
+	cfg2 := buildTestCFG(t, `func g() {
+	guard()
+	sink()
+}`)
+	reached2 := reachableFrom([]*Block{cfg2.Entry()}, func(b *Block) bool { return b == cfg2.Entry() })
+	if reached2[cfg2.Exit()] {
+		t.Error("exit reachable despite the only path being avoided")
+	}
+}
+
+// TestCFGEmptySelect pins that `select {}` ends the path: nothing after
+// it is reachable and the exit gains no edge from it.
+func TestCFGEmptySelect(t *testing.T) {
+	cfg := buildTestCFG(t, `func f() {
+	setup()
+	select {}
+}`)
+	reached := reachableFrom([]*Block{cfg.Entry()}, nil)
+	if reached[cfg.Exit()] {
+		t.Errorf("exit reachable across select{}:\n%s", cfg)
+	}
+}
+
+// TestCFGDeadCodeAfterReturn pins that statements after a return land in
+// an unreachable block rather than being lost (goto labels may live
+// there).
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	cfg := buildTestCFG(t, `func f() {
+	return
+	sink()
+}`)
+	var dead *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Kind == "dead" {
+			dead = blk
+		}
+	}
+	if dead == nil || len(dead.Nodes) != 1 {
+		t.Fatalf("dead code not captured:\n%s", cfg)
+	}
+	if reachableFrom([]*Block{cfg.Entry()}, nil)[dead] {
+		t.Errorf("dead block reachable from entry:\n%s", cfg)
+	}
+}
+
+// TestCFGNodeTruncation keeps dumps one-line and bounded.
+func TestCFGNodeTruncation(t *testing.T) {
+	cfg := buildTestCFG(t, `func f() {
+	someVeryLongFunctionName(withAnArgument, andAnotherArgument, andYetAnotherOne)
+}`)
+	dump := cfg.String()
+	for _, line := range strings.Split(dump, "\n") {
+		if len(line) > 100 {
+			t.Errorf("dump line over budget: %q", line)
+		}
+	}
+	if strings.Contains(dump, "\t") {
+		t.Errorf("dump contains raw tabs:\n%s", dump)
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+// dataflow.go — a small forward may-analysis engine over the CFG.
+//
+// Facts are sets of tainted objects. The engine is the classic worklist
+// iteration: a block's entry facts are the union of its predecessors'
+// exit facts, the client's transfer function pushes facts through the
+// block's nodes, and iteration continues until nothing changes. Transfer
+// must be monotone (gen/kill on the input set), which bounds the
+// iteration; a generous safety cap guards against a non-monotone client.
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// A taintVal describes why an object is tainted.
+type taintVal struct {
+	// pos is the source position where the value became attacker
+	// controlled (the decode call, the binary read, the parameter).
+	pos token.Pos
+	// param is the parameter index that introduced the taint during a
+	// call-summary analysis; -1 for direct sources.
+	param int
+}
+
+// A factSet maps tainted objects to their taint provenance.
+type factSet map[types.Object]taintVal
+
+func cloneFacts(f factSet) factSet {
+	out := make(factSet, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// unionFacts merges src into dst (may-analysis join). On conflict the
+// existing provenance wins — any one witness suffices for reporting.
+func unionFacts(dst, src factSet) factSet {
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+	return dst
+}
+
+func equalFacts(a, b factSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardMay runs transfer over the graph to a fixed point and returns
+// each reachable block's entry facts. entry seeds the entry block
+// (parameter taint). transfer receives a private copy it may mutate.
+func forwardMay(cfg *CFG, entry factSet, transfer func(blk *Block, in factSet) factSet) map[*Block]factSet {
+	preds := predecessors(cfg)
+	ins := make(map[*Block]factSet, len(cfg.Blocks))
+	outs := make(map[*Block]factSet, len(cfg.Blocks))
+
+	queued := make(map[*Block]bool, len(cfg.Blocks))
+	var worklist []*Block
+	push := func(blk *Block) {
+		if !queued[blk] {
+			queued[blk] = true
+			worklist = append(worklist, blk)
+		}
+	}
+	push(cfg.Entry())
+
+	// Safety cap: monotone transfer converges in O(blocks × facts)
+	// visits; anything past this indicates a client bug, and truncating a
+	// may-analysis only under-reports.
+	budget := (len(cfg.Blocks) + 1) * (len(entry) + 32) * 4
+
+	for len(worklist) > 0 && budget > 0 {
+		budget--
+		blk := worklist[0]
+		worklist = worklist[1:]
+		queued[blk] = false
+
+		in := make(factSet)
+		if blk == cfg.Entry() {
+			in = cloneFacts(entry)
+		}
+		for _, p := range preds[blk] {
+			if out, ok := outs[p]; ok {
+				in = unionFacts(in, out)
+			}
+		}
+		ins[blk] = in
+		out := transfer(blk, cloneFacts(in))
+		if prev, ok := outs[blk]; !ok || !equalFacts(out, prev) {
+			outs[blk] = out
+			for _, s := range blk.Succs {
+				push(s)
+			}
+		}
+	}
+	return ins
+}

@@ -86,14 +86,7 @@ func runDetLint(pass *Pass) error {
 	return nil
 }
 
-func isDetPackage(path string) bool {
-	for _, p := range DetPackages {
-		if path == p {
-			return true
-		}
-	}
-	return false
-}
+func isDetPackage(path string) bool { return pkgInScope(path, DetPackages) }
 
 // forEachStmtList visits every statement list in the file: block bodies,
 // case clauses, and select clauses, including those inside function
@@ -124,17 +117,6 @@ func checkWallClock(pass *Pass, call *ast.CallExpr) {
 			"deterministic package calls time.%s; take the virtual time as an argument instead",
 			fn.Name())
 	}
-}
-
-// calleeObject resolves the called function/method, or nil.
-func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		return pass.TypesInfo.Uses[fun.Sel]
-	}
-	return nil
 }
 
 func isMapType(pass *Pass, x ast.Expr) bool {
@@ -181,17 +163,6 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, after []ast.Stmt) {
 			"map-range loop appends to %q without a sort before use: map iteration order varies "+
 				"between runs; sort the slice after the loop", id.Name)
 	}
-}
-
-// calleeName extracts the bare called name from a call expression.
-func calleeName(call *ast.CallExpr) (string, bool) {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fun.Name, true
-	case *ast.SelectorExpr:
-		return fun.Sel.Name, true
-	}
-	return "", false
 }
 
 // appendTarget matches `append(x, ...)` with x an identifier and returns

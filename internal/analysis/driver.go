@@ -42,27 +42,27 @@ func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnost
 
 // Run loads the packages matched by patterns (resolved relative to the
 // module containing dir) and applies the full analyzer suite to each.
-// It returns all surviving diagnostics and the FileSet to position them
-// with.
-func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
+// It returns all surviving diagnostics, the FileSet to position them
+// with, and the module root (for root-relative output paths).
+func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, string, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	pkgs, err := loader.LoadPatterns(patterns...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := RunPackage(loader, pkg, Analyzers())
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		all = append(all, diags...)
 	}
 	sortDiagnostics(loader.Fset, all)
-	return all, loader.Fset, nil
+	return all, loader.Fset, loader.ModRoot, nil
 }
 
 // Print writes diagnostics in the conventional file:line:col format.

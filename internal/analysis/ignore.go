@@ -20,12 +20,16 @@ const ignorePrefix = "//rblint:ignore"
 // Ignore is one parsed, well-formed directive.
 type Ignore struct {
 	Pos       token.Pos
+	End       token.Pos
 	Analyzers []string // validated analyzer names
 	Reason    string
 	// Line is the directive's own source line; it suppresses findings on
-	// this line and the next.
+	// this line and the next. On the last line of a file — where no next
+	// line exists — it covers the preceding line instead.
 	Line int
-	File string
+	// LastLine is set when the directive sits on the file's final line.
+	LastLine bool
+	File     string
 	// used is set when the directive suppresses at least one diagnostic.
 	used bool
 }
@@ -90,9 +94,11 @@ func parseIgnoreText(fset *token.FileSet, c *ast.Comment, body string, valid map
 	pos := fset.Position(c.Pos())
 	return &Ignore{
 		Pos:       c.Pos(),
+		End:       c.End(),
 		Analyzers: names,
 		Reason:    reason,
 		Line:      pos.Line,
+		LastLine:  pos.Line == fset.File(c.Pos()).LineCount(),
 		File:      pos.Filename,
 	}, ""
 }
@@ -112,9 +118,15 @@ func applyIgnores(fset *token.FileSet, ignores []*Ignore, diags []Diagnostic) []
 		for _, name := range ig.Analyzers {
 			// A directive covers its own line (inline placement, after the
 			// offending code) and the next line (standalone placement, on
-			// the line above the offending code).
+			// the line above the offending code). On the file's final line
+			// there is no next line to cover, so the directive reaches back
+			// to the preceding line instead — otherwise a perfectly placed
+			// end-of-file suppression would be reported as stale.
 			index[key{ig.File, ig.Line, name}] = append(index[key{ig.File, ig.Line, name}], ig)
 			index[key{ig.File, ig.Line + 1, name}] = append(index[key{ig.File, ig.Line + 1, name}], ig)
+			if ig.LastLine && ig.Line > 1 {
+				index[key{ig.File, ig.Line - 1, name}] = append(index[key{ig.File, ig.Line - 1, name}], ig)
+			}
 		}
 	}
 	var out []Diagnostic
@@ -135,6 +147,10 @@ func applyIgnores(fset *token.FileSet, ignores []*Ignore, diags []Diagnostic) []
 				Pos:      ig.Pos,
 				Message: "stale rblint:ignore directive: no " + strings.Join(ig.Analyzers, ",") +
 					" diagnostic here to suppress — delete the directive",
+				SuggestedFixes: []SuggestedFix{{
+					Message: "delete the stale directive",
+					Edits:   []TextEdit{{Pos: ig.Pos, End: ig.End}},
+				}},
 			})
 		}
 	}

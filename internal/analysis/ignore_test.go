@@ -123,6 +123,58 @@ func f() {}
 	}
 }
 
+// TestIgnoreLastLineOfFile is the regression test for the end-of-file
+// edge case: a directive on the file's final line has no next line to
+// cover, so it must reach back to the preceding line instead of being
+// reported stale.
+func TestIgnoreLastLineOfFile(t *testing.T) {
+	// No trailing newline: the directive's line IS the last line.
+	fset, files := parseIgnoreSrc(t, `package p
+
+func f() {}
+//rblint:ignore detlint justified: suppresses the line above at EOF`)
+	ignores, problems := parseIgnores(fset, files, ignoreTestValid)
+	if len(problems) != 0 || len(ignores) != 1 {
+		t.Fatalf("ignores=%d problems=%v, want 1 and none", len(ignores), problems)
+	}
+	if !ignores[0].LastLine {
+		t.Fatalf("directive on line %d not recognized as last-line (LineCount=%d)",
+			ignores[0].Line, fset.File(files[0].Pos()).LineCount())
+	}
+	diags := []Diagnostic{
+		{Analyzer: "detlint", Pos: lineStart(t, fset, files, 3), Message: "finding on the line before an EOF directive"},
+	}
+	out := applyIgnores(fset, ignores, diags)
+	if len(out) != 0 {
+		t.Fatalf("diagnostics survived an end-of-file directive: %+v", out)
+	}
+}
+
+// TestIgnoreLastLineStillStaleWhenUnused keeps the widened coverage
+// honest: an EOF directive with nothing to suppress anywhere nearby is
+// still stale.
+func TestIgnoreLastLineStillStaleWhenUnused(t *testing.T) {
+	fset, files := parseIgnoreSrc(t, `package p
+
+func f() {}
+//rblint:ignore detlint justified wording, but nothing here fires`)
+	ignores, problems := parseIgnores(fset, files, ignoreTestValid)
+	if len(problems) != 0 || len(ignores) != 1 {
+		t.Fatalf("ignores=%d problems=%v, want 1 and none", len(ignores), problems)
+	}
+	out := applyIgnores(fset, ignores, nil)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale rblint:ignore directive") {
+		t.Fatalf("out = %+v, want one stale-directive diagnostic", out)
+	}
+	if len(out[0].SuggestedFixes) != 1 || len(out[0].SuggestedFixes[0].Edits) != 1 {
+		t.Fatalf("stale diagnostic carries no deletion fix: %+v", out[0])
+	}
+	edit := out[0].SuggestedFixes[0].Edits[0]
+	if edit.Pos != ignores[0].Pos || edit.End != ignores[0].End || edit.NewText != "" {
+		t.Fatalf("deletion fix edits = %+v, want the directive's own extent", edit)
+	}
+}
+
 func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
 	fset, files := parseIgnoreSrc(t, `package p
 

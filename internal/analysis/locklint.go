@@ -301,18 +301,6 @@ func checkBlockingCall(pass *Pass, call *ast.CallExpr, held map[string]bool) {
 	}
 }
 
-// recvTypeName returns the named type of a method receiver, stripping
-// one pointer.
-func recvTypeName(t types.Type) string {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if n, ok := t.(*types.Named); ok {
-		return n.Obj().Name()
-	}
-	return ""
-}
-
 func copyHeld(held map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(held))
 	for k := range held {

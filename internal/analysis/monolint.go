@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MonoPackages scopes monolint to the protocol state machine.
+var MonoPackages = []string{"rbcast/internal/core"}
+
+// MonoLint encodes the paper's pruning-safety argument as a lint rule.
+// Correctness rests on monotone per-host state: a host's INFO set only
+// grows (§4's invariants assume a received sequence number is never
+// forgotten), MAP entries are merged forward, never overwritten
+// backwards, and the prune floor prunedTo (§6) only advances, and only
+// once stability is established. The compiler cannot see any of that —
+// a stray `h.info = seqset.Set{}` or an unguarded `h.prunedTo = x`
+// type-checks fine and silently breaks delivery.
+//
+// MonoLint therefore restricts writes to Host.info / Host.maps /
+// Host.confirmed / Host.prunedTo (assignments, address-taking, and
+// calls to mutating seqset.Set methods) to the approved mutator set
+// below: the handler-table functions that merge monotonically, and the
+// prune path. Inside the approved set, every write to prunedTo must
+// additionally be dominated by a comparison reading prunedTo on every
+// CFG path from function entry — the monotonicity guard that keeps the
+// floor from moving backwards.
+var MonoLint = &Analyzer{
+	Name: "monolint",
+	Doc: "host INFO/MAP/prunedTo state may only be written by the approved " +
+		"mutator set, and prune-floor writes must be guarded by a monotonicity check",
+	Run: runMonoLint,
+}
+
+// monoProtectedFields are the Host fields carrying the paper's monotone
+// state.
+var monoProtectedFields = map[string]bool{
+	"info": true, "maps": true, "confirmed": true, "prunedTo": true,
+}
+
+// monoApprovedMutators is the allowlist: the message-handler functions
+// that merge facts monotonically (union/max semantics), the broadcast
+// and marking emitters that add what was just produced, and the §6
+// prune path. MapOf is included for its benign copy-on-write write-back:
+// it re-stores the value it just read with only the COW mark changed.
+var monoApprovedMutators = map[string]bool{
+	"Broadcast":      true,
+	"handleData":     true,
+	"learnHas":       true,
+	"learnInfo":      true,
+	"mergeInfoFacts": true,
+	"sendMarking":    true,
+	"pruneStable":    true,
+	"MapOf":          true,
+}
+
+// monoMutatingSetMethods are the seqset.Set methods that change
+// membership. Pointer-receiver accessors like Snapshot (which only flips
+// the copy-on-write mark) are deliberately absent.
+var monoMutatingSetMethods = map[string]bool{
+	"Add": true, "AddRange": true, "Union": true, "ApplyDelta": true,
+	"Prune": true, "Remove": true, "Clear": true,
+}
+
+func runMonoLint(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), MonoPackages) {
+		return nil
+	}
+	if lookupNamedType(pass, "Host") == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMonoFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func lookupNamedType(pass *Pass, name string) *types.Named {
+	tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	n, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+func checkMonoFunc(pass *Pass, fd *ast.FuncDecl) {
+	approved := monoApprovedMutators[fd.Name.Name]
+	var prunedToWrites []ast.Node // assignments needing the guard check
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				field, ok := protectedHostField(pass, lhs)
+				if !ok {
+					continue
+				}
+				if !approved {
+					reportMonoWrite(pass, lhs.Pos(), field, "written")
+				} else if field == "prunedTo" {
+					prunedToWrites = append(prunedToWrites, n)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := protectedHostField(pass, n.X); ok {
+				if !approved {
+					reportMonoWrite(pass, n.Pos(), field, "written")
+				} else if field == "prunedTo" {
+					prunedToWrites = append(prunedToWrites, n)
+				}
+			}
+		case *ast.UnaryExpr:
+			// &h.info lets arbitrary code mutate the set out of view.
+			if n.Op == token.AND {
+				if field, ok := protectedHostField(pass, n.X); ok && !approved {
+					reportMonoWrite(pass, n.Pos(), field, "address-taken")
+				}
+			}
+		case *ast.CallExpr:
+			if field, ok := mutatingSetCall(pass, n); ok && !approved {
+				reportMonoWrite(pass, n.Pos(), field, "mutated")
+			}
+		}
+		return true
+	})
+
+	if len(prunedToWrites) > 0 {
+		checkPruneGuard(pass, fd, prunedToWrites)
+	}
+}
+
+func reportMonoWrite(pass *Pass, pos token.Pos, field, how string) {
+	pass.Reportf(pos,
+		"Host.%s %s outside the approved mutator set (%s): non-monotone host state "+
+			"breaks the pruning-safety argument; route the change through a handler or the prune path",
+		field, how, approvedMutatorList())
+}
+
+func approvedMutatorList() string {
+	names := make([]string, 0, len(monoApprovedMutators))
+	for name := range monoApprovedMutators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// protectedHostField matches (possibly indexed/parenthesized) selectors
+// h.<field> where h is a *core.Host and field is protected.
+func protectedHostField(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok { // h.maps[j] = …
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !monoProtectedFields[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Host" || named.Obj().Pkg() != pass.Pkg {
+		return "", false
+	}
+	// Confirm it is really a field selection, not a method value.
+	if selInfo, ok := pass.TypesInfo.Selections[sel]; ok && selInfo.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// mutatingSetCall matches h.<field>.Add(...)-style calls: a mutating
+// pointer-receiver method invoked directly on a protected field.
+func mutatingSetCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !monoMutatingSetMethods[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return "", false // value receiver cannot mutate the field
+	}
+	return protectedHostField(pass, sel.X)
+}
+
+// checkPruneGuard verifies via the CFG that every write to prunedTo in
+// an approved function is dominated by a comparison that reads prunedTo
+// (the `p-1 <= h.prunedTo → return` monotonicity guard): no path from
+// entry may reach the write while avoiding every guard.
+func checkPruneGuard(pass *Pass, fd *ast.FuncDecl, writes []ast.Node) {
+	cfg := buildCFG(fd.Name.Name, fd.Body)
+
+	nodeReadsGuard := func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			n = rng.X // shallow header
+		}
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			be, ok := x.(*ast.BinaryExpr)
+			if !ok || !isComparisonOp(be.Op) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(y ast.Node) bool {
+					if s, ok := y.(*ast.SelectorExpr); ok && s.Sel.Name == "prunedTo" {
+						found = true
+					}
+					return true
+				})
+			}
+			return !found
+		})
+		return found
+	}
+	isGuardBlock := func(blk *Block) bool {
+		for _, n := range blk.Nodes {
+			if nodeReadsGuard(n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, w := range writes {
+		blk, idx := findNodeBlock(cfg, w)
+		if blk == nil {
+			continue // write inside a nested function literal: out of CFG view
+		}
+		// A guard earlier in the same block dominates the write trivially.
+		guarded := false
+		for _, n := range blk.Nodes[:idx] {
+			if nodeReadsGuard(n) {
+				guarded = true
+				break
+			}
+		}
+		if guarded {
+			continue
+		}
+		reached := reachableFrom([]*Block{cfg.Entry()}, func(b *Block) bool {
+			return b != blk && isGuardBlock(b)
+		})
+		if reached[blk] {
+			pass.Reportf(w.Pos(),
+				"write to Host.prunedTo is not dominated by a monotonicity comparison on prunedTo: "+
+					"an unguarded write can move the §6 prune floor backwards")
+		}
+	}
+}
+
+// findNodeBlock locates the block and node index holding n.
+func findNodeBlock(cfg *CFG, n ast.Node) (*Block, int) {
+	for _, blk := range cfg.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,301 @@
+package analysis
+
+// output.go — machine-readable diagnostic encodings and the baseline.
+//
+// Three consumers beyond the terminal: CI code-scanning UIs ingest SARIF
+// 2.1.0, scripts ingest the line-oriented JSON, and the baseline file
+// lets a tree with known, accepted findings fail only on NEW ones.
+// Baseline entries are keyed by (analyzer, file, message) — deliberately
+// not by line, so unrelated edits that shift a finding up or down do not
+// resurrect it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A JSONDiagnostic is the wire form of one finding.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-root-relative with forward slashes.
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+func toJSONDiagnostics(fset *token.FileSet, modRoot string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(modRoot, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// relPath makes filename module-root-relative with forward slashes, so
+// baselines and SARIF travel between machines and CI runners.
+func relPath(modRoot, filename string) string {
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// WriteJSON encodes the diagnostics as an indented JSON array.
+func WriteJSON(w io.Writer, fset *token.FileSet, modRoot string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONDiagnostics(fset, modRoot, diags))
+}
+
+// SARIF 2.1.0 skeleton — the minimal subset code-scanning UIs need: one
+// run, one tool with a rule per analyzer, one result per finding.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes the diagnostics as a SARIF 2.1.0 log. Every suite
+// analyzer is listed as a rule (plus "rblint" for driver-level directive
+// findings) so UIs can show rule metadata even on clean runs.
+func WriteSARIF(w io.Writer, fset *token.FileSet, modRoot string, diags []Diagnostic) error {
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "rblint",
+		ShortDescription: sarifMessage{Text: "rblint:ignore directive hygiene"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(modRoot, pos.Filename)},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rblint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// A Baseline is the set of accepted findings. Keys are
+// "analyzer\x00file\x00message" — line numbers are excluded on purpose
+// (see the file comment).
+type Baseline struct {
+	entries map[string]bool
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(e baselineEntry) string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline. A missing
+// file is not an error: it is the empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]bool)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	var entries []baselineEntry
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+	}
+	for _, e := range entries {
+		b.entries[baselineKey(e)] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the diagnostics as a sorted, deduplicated
+// baseline file.
+func WriteBaseline(path string, fset *token.FileSet, modRoot string, diags []Diagnostic) error {
+	seen := make(map[string]bool)
+	entries := make([]baselineEntry, 0, len(diags))
+	for _, d := range diags {
+		e := baselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(modRoot, fset.Position(d.Pos).Filename),
+			Message:  d.Message,
+		}
+		if k := baselineKey(e); !seen[k] {
+			seen[k] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return baselineKey(entries[i]) < baselineKey(entries[j])
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (new) and those covered (known).
+func (b *Baseline) Filter(fset *token.FileSet, modRoot string, diags []Diagnostic) (fresh, known []Diagnostic) {
+	for _, d := range diags {
+		e := baselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(modRoot, fset.Position(d.Pos).Filename),
+			Message:  d.Message,
+		}
+		if b.entries[baselineKey(e)] {
+			known = append(known, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, known
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// has one, editing files in place. Edits within a file are applied in
+// descending offset order so earlier edits don't invalidate later
+// offsets; overlapping edits are skipped. It returns the number of
+// fixes applied.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].Edits {
+			start, end := fset.Position(te.Pos), fset.Position(te.End)
+			if start.Filename == "" || start.Filename != end.Filename {
+				continue
+			}
+			perFile[start.Filename] = append(perFile[start.Filename],
+				edit{start.Offset, end.Offset, te.NewText})
+		}
+	}
+	applied := 0
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		edits := perFile[f]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return applied, err
+		}
+		prevStart := len(data) + 1
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(data) || e.end > prevStart || e.start > e.end {
+				continue // out of range or overlapping a previous edit
+			}
+			data = append(data[:e.start], append([]byte(e.newText), data[e.end:]...)...)
+			prevStart = e.start
+			applied++
+		}
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// outputFixture fabricates a FileSet with one file and two diagnostics
+// in it, plus the "module root" the paths are relativized against.
+func outputFixture(t *testing.T) (*token.FileSet, string, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	modRoot := string(filepath.Separator) + filepath.Join("mod", "root")
+	f := fset.AddFile(filepath.Join(modRoot, "internal", "x", "x.go"), -1, 200)
+	f.SetLines([]int{0, 50, 100, 150})
+	diags := []Diagnostic{
+		{Analyzer: "taintlint", Pos: f.Pos(60), Message: "tainted make"},
+		{Analyzer: "monolint", Pos: f.Pos(110), Message: "rogue write"},
+	}
+	return fset, modRoot, diags
+}
+
+func TestWriteJSON(t *testing.T) {
+	fset, modRoot, diags := outputFixture(t)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, fset, modRoot, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	want := JSONDiagnostic{Analyzer: "taintlint", File: "internal/x/x.go", Line: 2, Column: 11, Message: "tainted make"}
+	if got[0] != want {
+		t.Errorf("entry[0] = %+v, want %+v", got[0], want)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	fset, modRoot, _ := outputFixture(t)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, fset, modRoot, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("empty run must encode as [], got %q", sb.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	fset, modRoot, diags := outputFixture(t)
+	var sb strings.Builder
+	if err := WriteSARIF(&sb, fset, modRoot, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	results, _ := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "taintlint" {
+		t.Errorf("ruleId = %v, want taintlint", first["ruleId"])
+	}
+	// Every suite analyzer must be declared as a rule, even on clean runs.
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != len(Analyzers())+1 {
+		t.Errorf("rules = %d, want %d (suite + rblint)", len(rules), len(Analyzers())+1)
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	uri := loc["artifactLocation"].(map[string]any)["uri"]
+	if uri != "internal/x/x.go" {
+		t.Errorf("artifact uri = %v, want module-relative forward-slash path", uri)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	fset, modRoot, diags := outputFixture(t)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, fset, modRoot, diags[:1]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, known := b.Filter(fset, modRoot, diags)
+	if len(known) != 1 || known[0].Analyzer != "taintlint" {
+		t.Errorf("known = %+v, want the baselined taintlint finding", known)
+	}
+	if len(fresh) != 1 || fresh[0].Analyzer != "monolint" {
+		t.Errorf("fresh = %+v, want the un-baselined monolint finding", fresh)
+	}
+}
+
+// TestBaselineLineInsensitive pins the key design: moving a finding to a
+// different line must not resurrect it.
+func TestBaselineLineInsensitive(t *testing.T) {
+	fset, modRoot, diags := outputFixture(t)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, fset, modRoot, diags[:1]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same analyzer, file, and message — different position.
+	moved := []Diagnostic{{Analyzer: "taintlint", Pos: diags[1].Pos, Message: "tainted make"}}
+	fresh, known := b.Filter(fset, modRoot, moved)
+	if len(fresh) != 0 || len(known) != 1 {
+		t.Errorf("moved finding escaped the baseline: fresh=%+v known=%+v", fresh, known)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, modRoot, diags := outputFixture(t)
+	fresh, known := b.Filter(fset, modRoot, diags)
+	if len(fresh) != 2 || len(known) != 0 {
+		t.Errorf("missing baseline must pass everything through: fresh=%d known=%d", len(fresh), len(known))
+	}
+}
+
+func TestApplyFixesDeletesDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\n//rblint:ignore detlint but nothing fires here anymore\nfunc f() {}\n"
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f := fset.AddFile(path, -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	start := strings.Index(src, "//rblint")
+	end := start + len("//rblint:ignore detlint but nothing fires here anymore")
+	diags := []Diagnostic{{
+		Analyzer: "rblint",
+		Pos:      f.Pos(start),
+		Message:  "stale rblint:ignore directive",
+		SuggestedFixes: []SuggestedFix{{
+			Message: "delete the stale directive",
+			Edits:   []TextEdit{{Pos: f.Pos(start), End: f.Pos(end)}},
+		}},
+	}}
+	n, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("applied = %d, want 1", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "rblint:ignore") {
+		t.Errorf("directive survived the fix:\n%s", got)
+	}
+	if !strings.Contains(string(got), "func f() {}") {
+		t.Errorf("fix damaged surrounding code:\n%s", got)
+	}
+}
+
+// TestApplyFixesDescendingOrder pins multi-edit safety: two edits in one
+// file must both land even though applying one shifts offsets.
+func TestApplyFixesDescendingOrder(t *testing.T) {
+	dir := t.TempDir()
+	src := "AAAA BBBB CCCC\n"
+	path := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f := fset.AddFile(path, -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	mk := func(start, end int, repl string) Diagnostic {
+		return Diagnostic{
+			Analyzer: "x", Pos: f.Pos(start), Message: "m",
+			SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{{Pos: f.Pos(start), End: f.Pos(end), NewText: repl}}}},
+		}
+	}
+	n, err := ApplyFixes(fset, []Diagnostic{mk(0, 4, "X"), mk(10, 14, "Z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("applied = %d, want 2", n)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "X BBBB Z\n" {
+		t.Errorf("got %q, want %q", got, "X BBBB Z\n")
+	}
+}

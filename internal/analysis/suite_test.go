@@ -26,6 +26,10 @@ func TestAnalyzers(t *testing.T) {
 		{"locklint", analysis.LockLint, "testdata/lock", ""},
 		{"paramlint", analysis.ParamLint, "testdata/param", ""},
 		{"wirelint", analysis.WireLint, "testdata/wire", ""},
+		{"taintlint/wire-scope", analysis.TaintLint, "testdata/taint", "rbcast/internal/wire"},
+		{"taintlint/out-of-scope-package", analysis.TaintLint, "testdata/taintclean", ""},
+		{"monolint", analysis.MonoLint, "testdata/mono", "rbcast/internal/core"},
+		{"leaklint", analysis.LeakLint, "testdata/leak", "rbcast/internal/udp"},
 		{"ignore-directive", analysis.DetLint, "testdata/ignoretd", "rbcast/internal/core"},
 	}
 	for _, tt := range tests {

@@ -1,0 +1,135 @@
+// Package leak is leaklint's testdata: goroutines with and without
+// reachable exits, tickers with and without Stop coverage. Checked as
+// rbcast/internal/udp to land in leaklint's scope.
+package leak
+
+import "time"
+
+func work()      {}
+func bad() bool  { return false }
+func cond() bool { return false }
+
+// goUnstoppable spins forever with no way out: flagged at the go
+// statement.
+func goUnstoppable() {
+	go func() { // want `goroutine has no reachable exit path`
+		for {
+			work()
+		}
+	}()
+}
+
+// goWithStopChannel has a terminating select case: clean.
+func goWithStopChannel(stop chan struct{}, c chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-c:
+				_ = v
+			}
+		}
+	}()
+}
+
+// goRangeOverChannel exits when the channel closes: clean.
+func goRangeOverChannel(c chan int) {
+	go func() {
+		for v := range c {
+			_ = v
+		}
+	}()
+}
+
+// goPanicPathCounts: a reachable panic ends the goroutine too — dying
+// paths are not leaks.
+func goPanicPathCounts() {
+	go func() {
+		for {
+			if bad() {
+				panic("corrupt state")
+			}
+		}
+	}()
+}
+
+// runForever is spun up by name below; it has no exit.
+func runForever() {
+	for {
+		work()
+	}
+}
+
+func goNamedUnstoppable() {
+	go runForever() // want `goroutine runs runForever, which has no reachable exit path`
+}
+
+// tickerNoStop leaks: no Stop on the path to the exit.
+func tickerNoStop(c chan int) {
+	t := time.NewTicker(time.Second) // want `time.NewTicker result is not stopped on every exit path`
+	for range t.C {
+		c <- 1
+	}
+}
+
+// tickerDeferStop is the idiom: clean.
+func tickerDeferStop(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// tickerStraightLineStop stops before returning: clean.
+func tickerStraightLineStop() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+	t.Stop()
+}
+
+// tickerOneBranchStop stops on the early-return branch only; the
+// fall-through path leaks: flagged.
+func tickerOneBranchStop() {
+	t := time.NewTicker(time.Second) // want `time.NewTicker result is not stopped on every exit path`
+	if cond() {
+		t.Stop()
+		return
+	}
+	<-t.C
+}
+
+// tickerEscapes hands the ticker to the caller, whose job Stop becomes:
+// clean here.
+func tickerEscapes() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+// tickerInGoroutine: literal bodies are their own graphs; the defer
+// covers the goroutine's exits. Clean.
+func tickerInGoroutine(stop chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// tickUnstoppable: time.Tick has no Stop at all — always flagged.
+func tickUnstoppable() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick leaks its ticker`
+}

@@ -1,0 +1,100 @@
+// Package mono is monolint's testdata: a miniature Host with the
+// protected monotone fields, approved mutators (by name), and rogue
+// writers. Checked as rbcast/internal/core to land in monolint's scope.
+package mono
+
+// Set mimics seqset.Set's method split: pointer receivers mutate,
+// except Snapshot, which only flips a copy-on-write mark.
+type Set struct{ members []uint64 }
+
+func (s *Set) Add(q uint64)          { s.members = append(s.members, q) }
+func (s *Set) Prune(below uint64)    { _ = below }
+func (s *Set) Snapshot() Set         { return *s }
+func (s Set) Contains(q uint64) bool { return false }
+
+// Host mimics core.Host: info/maps/confirmed/prunedTo carry the paper's
+// monotone state; scratch does not.
+type Host struct {
+	info      Set
+	maps      map[int]Set
+	confirmed Set
+	prunedTo  uint64
+	scratch   int
+}
+
+// handleData is in the approved mutator set: direct writes and mutating
+// set calls are legal here.
+func (h *Host) handleData(seq uint64) {
+	h.info.Add(seq)
+	h.confirmed = h.info.Snapshot()
+}
+
+// learnInfo is approved; map-entry stores on a protected field are fine
+// inside the set.
+func (h *Host) learnInfo(j int, s Set) {
+	h.maps[j] = s
+}
+
+// pruneStable is approved AND guards its prunedTo write with the
+// monotonicity comparison, like the real §6 prune path.
+func (h *Host) pruneStable(p uint64) {
+	if p == 0 || p-1 <= h.prunedTo {
+		return
+	}
+	h.info.Prune(p)
+	h.prunedTo = p - 1
+}
+
+// mergeInfoFacts is approved but writes the prune floor with no
+// comparison on prunedTo in sight: flagged by the CFG dominance check.
+func (h *Host) mergeInfoFacts(p uint64) {
+	h.prunedTo = p // want `not dominated by a monotonicity comparison on prunedTo`
+}
+
+// rogueAssign is not approved: flagged.
+func (h *Host) rogueAssign() {
+	h.info = Set{} // want `Host.info written outside the approved mutator set`
+}
+
+// rogueSetCall mutates through a pointer-receiver set method: flagged.
+func (h *Host) rogueSetCall(seq uint64) {
+	h.info.Add(seq) // want `Host.info mutated outside the approved mutator set`
+}
+
+// rogueAddressTaken leaks a mutable pointer to protected state: flagged.
+func (h *Host) rogueAddressTaken() *Set {
+	return &h.confirmed // want `Host.confirmed address-taken outside the approved mutator set`
+}
+
+// rogueIncDec moves the prune floor outside the prune path: flagged.
+func (h *Host) rogueIncDec() {
+	h.prunedTo++ // want `Host.prunedTo written outside the approved mutator set`
+}
+
+// rogueMapStore overwrites a MAP entry outside the handlers: flagged.
+func (h *Host) rogueMapStore(j int, s Set) {
+	h.maps[j] = s // want `Host.maps written outside the approved mutator set`
+}
+
+// readsAreFine: reads of protected fields, value-receiver methods, and
+// the benign pointer-receiver Snapshot are all legal anywhere.
+func (h *Host) readsAreFine(q uint64) bool {
+	snap := h.info.Snapshot()
+	_ = snap
+	return h.info.Contains(q) || h.prunedTo > q
+}
+
+// unprotectedIsFine: scratch is not monotone state.
+func (h *Host) unprotectedIsFine() {
+	h.scratch++
+	h.scratch = 7
+}
+
+// otherInfoIsFine: the field name must be selected from a Host value —
+// same names on other types stay out of jurisdiction.
+type notHost struct{ info Set }
+
+func (n *notHost) write() {
+	n.info = Set{}
+	n.info.Add(1)
+}

@@ -1,0 +1,160 @@
+// Package taint is taintlint's testdata: decoded wire values flowing
+// into capacity-shaped sinks, with and without intervening bounds
+// checks. Checked as rbcast/internal/wire to land in taintlint's scope.
+package taint
+
+import "encoding/binary"
+
+const maxRun = 1 << 16
+
+// Set mimics seqset.Set: AddRange costs O(hi-lo).
+type Set struct{ members []uint64 }
+
+func (s *Set) Add(q uint64) { s.members = append(s.members, q) }
+
+func (s *Set) AddRange(lo, hi uint64) {
+	for q := lo; q <= hi; q++ {
+		s.Add(q)
+	}
+}
+
+// Frame mimics a decoded network frame: every field is adversarial.
+type Frame struct {
+	N    uint64
+	Runs []uint64
+}
+
+// Message mimics core.Message.
+type Message struct{ Seq uint64 }
+
+// Decode mimics the codec entry point: its result is attacker data.
+func Decode(b []byte) Frame {
+	if len(b) < 16 {
+		return Frame{}
+	}
+	return Frame{N: binary.BigEndian.Uint64(b[:8])}
+}
+
+// addRangeUnchecked is the PR 1 decoder bug: interval bounds read
+// straight off the wire into an O(value) expansion. A forged frame with
+// hi = 1<<64-1 spins the loop for centuries.
+func addRangeUnchecked(b []byte, s *Set) {
+	lo := binary.BigEndian.Uint64(b[:8])
+	hi := binary.BigEndian.Uint64(b[8:16])
+	s.AddRange(lo, hi) // want `attacker-controlled wire value flows into AddRange`
+}
+
+// addRangeChecked bounds the run length first: clean.
+func addRangeChecked(b []byte, s *Set) {
+	lo := binary.BigEndian.Uint64(b[:8])
+	hi := binary.BigEndian.Uint64(b[8:16])
+	if hi < lo || hi-lo > maxRun {
+		return
+	}
+	s.AddRange(lo, hi)
+}
+
+// makeUnchecked allocates whatever the wire claims.
+func makeUnchecked(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return make([]byte, n) // want `flows into a make size/capacity`
+}
+
+// makeChecked compares the length against the actual input first: clean.
+func makeChecked(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	if n > len(b) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// indexUnchecked uses a wire value as a slice index.
+func indexUnchecked(b []byte, table []int) int {
+	i := int(binary.BigEndian.Uint16(b))
+	return table[i] // want `flows into a slice index`
+}
+
+// indexMasked bounds the index by modulo: clean.
+func indexMasked(b []byte, table []int) int {
+	i := int(binary.BigEndian.Uint16(b)) % len(table)
+	return table[i]
+}
+
+// mapIndexIsFine: map lookup with a forged key is O(1), not a capacity
+// sink.
+func mapIndexIsFine(b []byte, m map[uint32]int) int {
+	k := binary.BigEndian.Uint32(b)
+	return m[k]
+}
+
+// sliceBoundUnchecked re-slices by a wire-claimed length.
+func sliceBoundUnchecked(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return b[:n] // want `flows into a slice bound`
+}
+
+// branchJoin shows may-analysis at a join: tainted on one path only is
+// still tainted after the merge.
+func branchJoin(b []byte, trusted bool) []byte {
+	n := 8
+	if !trusted {
+		n = int(binary.BigEndian.Uint32(b))
+	}
+	return make([]byte, n) // want `flows into a make size/capacity`
+}
+
+// overwriteLaunders shows the strong update: a clean store kills taint.
+func overwriteLaunders(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	n = 8
+	return make([]byte, n)
+}
+
+// allocHelper hides the sink one call deep; the one-level summary
+// attributes it to the caller's argument.
+func allocHelper(n int) []byte {
+	return make([]byte, n)
+}
+
+func throughHelper(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return allocHelper(n) // want `flows into a make size/capacity inside allocHelper`
+}
+
+func throughHelperChecked(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	if n > maxRun {
+		return nil
+	}
+	return allocHelper(n)
+}
+
+// paramTainted: values of the network-facing named types are adversarial
+// at function entry, fields included.
+func paramTainted(m Message) []byte {
+	return make([]byte, m.Seq) // want `flows into a make size/capacity`
+}
+
+// rangeElements: elements of a tainted container are tainted.
+func rangeElements(f Frame) {
+	for _, n := range f.Runs {
+		_ = make([]byte, n) // want `flows into a make size/capacity`
+	}
+}
+
+// decodeResult: the result of a Decode call is tainted through field
+// selection and conversion.
+func decodeResult(b []byte) []byte {
+	f := Decode(b)
+	return make([]byte, int(f.N)) // want `flows into a make size/capacity`
+}
+
+// decodeResultChecked: clean after the comparison.
+func decodeResultChecked(b []byte) []byte {
+	f := Decode(b)
+	if f.N > maxRun {
+		return nil
+	}
+	return make([]byte, int(f.N))
+}

@@ -1,0 +1,11 @@
+// Package taintclean holds code that WOULD trip taintlint, loaded under
+// its real testdata import path — outside TaintPackages. The suite
+// asserts no diagnostics: scope gating must hold.
+package taintclean
+
+import "encoding/binary"
+
+func makeUnchecked(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return make([]byte, n) // out of scope: no finding
+}

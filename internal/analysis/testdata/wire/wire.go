@@ -1,6 +1,7 @@
 // Package wire is wirelint's testdata: a three-kind codec where one
-// kind is missing from the Encode path, two from the Decode path, and
-// one from the fuzz corpus.
+// kind is missing from the Encode path, two from the Decode path, one
+// from the fuzz corpus, and two from the sibling bench package
+// (../bench names MsgA only).
 package wire
 
 type MsgKind byte
@@ -25,7 +26,7 @@ func Encode(k MsgKind) []byte { // want `message kind MsgC is not handled on the
 // the Encode path.
 func encodeB() []byte { return []byte{byte(MsgB)} }
 
-func Decode(b []byte) MsgKind { // want `message kind MsgB is not handled on the Decode path` `message kind MsgC is not handled on the Decode path`
+func Decode(b []byte) MsgKind { // want `message kind MsgB is not handled on the Decode path` `message kind MsgC is not handled on the Decode path` `message kind MsgB has no codec case in the sibling bench package` `message kind MsgC has no codec case in the sibling bench package`
 	if len(b) == 1 && MsgKind(b[0]) == MsgA {
 		return MsgA
 	}

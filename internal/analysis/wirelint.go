@@ -2,7 +2,11 @@ package analysis
 
 import (
 	"go/ast"
+	"go/parser"
+	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -15,10 +19,15 @@ import (
 // A kind that encodes but does not decode is a protocol message that
 // silently vanishes on the far side; a kind absent from the fuzz corpus
 // never gets its frame layout exercised.
+//
+// When the codec package has a sibling bench package (../bench), every
+// kind must additionally appear there by name: the benchmark suite's
+// codec cases are the regression tripwire for encode/decode cost, and a
+// kind missing from them can regress silently.
 var WireLint = &Analyzer{
 	Name: "wirelint",
-	Doc: "every MsgKind must be handled by both Encode and Decode and seeded " +
-		"in a Fuzz* corpus",
+	Doc: "every MsgKind must be handled by both Encode and Decode, seeded " +
+		"in a Fuzz* corpus, and covered by the sibling bench package",
 	Run: runWireLint,
 }
 
@@ -62,7 +71,47 @@ func runWireLint(pass *Pass) error {
 				"message kind %s is not seeded in any Fuzz* corpus: its frame layout is never fuzzed", k.Name())
 		}
 	}
+	if benchNames, ok := siblingBenchNames(pass); ok {
+		for _, k := range kinds {
+			if !benchNames[k.Name()] {
+				pass.Reportf(decode.Pos(),
+					"message kind %s has no codec case in the sibling bench package: its encode/decode cost can regress unnoticed", k.Name())
+			}
+		}
+	}
 	return nil
+}
+
+// siblingBenchNames parses the codec package's sibling bench directory
+// (../bench relative to the analyzed package) and collects every
+// identifier name in its non-test sources. ok is false when no such
+// directory exists — packages without a bench sibling are exempt.
+func siblingBenchNames(pass *Pass) (map[string]bool, bool) {
+	dir := filepath.Join(filepath.Dir(pass.Dir), "bench")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false
+	}
+	fset := token.NewFileSet()
+	names := make(map[string]bool)
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		found = true
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+	}
+	return names, found
 }
 
 // topLevelFunc finds a package-level function (no receiver) by name.
@@ -128,16 +177,7 @@ func kindConstants(kind *types.Named) []*types.Const {
 // reachableKindRefs collects the kind constants referenced by root or by
 // any same-package function transitively called from it.
 func reachableKindRefs(pass *Pass, root *ast.FuncDecl, kind *types.Named) map[*types.Const]bool {
-	decls := make(map[types.Object]*ast.FuncDecl)
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok {
-				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					decls[obj] = fd
-				}
-			}
-		}
-	}
+	decls := packageFuncDecls(pass)
 	refs := make(map[*types.Const]bool)
 	visited := make(map[*ast.FuncDecl]bool)
 	var visit func(fd *ast.FuncDecl)

@@ -8,10 +8,12 @@
 package bench
 
 import (
+	"path/filepath"
 	"testing"
 	"time"
 
 	"rbcast"
+	"rbcast/internal/analysis"
 	"rbcast/internal/harness"
 	"rbcast/internal/seqset"
 	"rbcast/internal/sim"
@@ -38,6 +40,8 @@ func Cases() []Case {
 		{"WireEncodeInfo", WireEncodeInfo},
 		{"WireAppendEncodeInfo", WireAppendEncodeInfo},
 		{"WireDecodeInfo", WireDecodeInfo},
+		{"WireCodecKinds", WireCodecKinds},
+		{"RBLintSuite", RBLintSuite},
 	}
 }
 
@@ -234,6 +238,70 @@ func WireDecodeInfo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// kindFrames is one representative frame per message kind, so the codec
+// round-trip cost of the whole kind space is tracked (and wirelint's
+// bench-coverage check sees every kind exercised here).
+func kindFrames() []wire.Frame {
+	info := seqset.FromRange(1, 64)
+	info.AddRange(70, 90)
+	return []wire.Frame{
+		{From: 3, Message: core.Message{Kind: core.MsgData, Seq: 91, Payload: make([]byte, 32)}},
+		{From: 3, Message: core.Message{Kind: core.MsgInfo, Info: info, Parent: 2}},
+		{From: 3, Message: core.Message{Kind: core.MsgAttachReq, Info: info}},
+		{From: 2, Message: core.Message{Kind: core.MsgAttachAccept, Info: info}},
+		{From: 2, Message: core.Message{Kind: core.MsgAttachReject}},
+		{From: 3, Message: core.Message{Kind: core.MsgDetach}},
+		{From: 3, Message: core.Message{Kind: core.MsgBundle, Parts: []core.Message{
+			{Kind: core.MsgData, Seq: 91, Payload: make([]byte, 32), GapFill: true},
+			{Kind: core.MsgInfo, Info: info, Parent: 2},
+		}}},
+		{From: 3, Message: core.Message{Kind: core.MsgInfoDelta, Info: seqset.FromRange(85, 90),
+			Seq: 90, CheckLen: uint64(info.Len()), Parent: 2}},
+	}
+}
+
+// WireCodecKinds measures an encode+decode round trip of one frame of
+// every message kind.
+func WireCodecKinds(b *testing.B) {
+	b.ReportAllocs()
+	frames := kindFrames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range frames {
+			data, err := wire.Encode(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wire.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(frames))/b.Elapsed().Seconds(), "frames/s")
+}
+
+// RBLintSuite measures a full run of the static analysis suite — all
+// seven analyzers, CFG construction, and taint dataflow — over the
+// protocol state machine package. Loading and type-checking happen once
+// outside the timer; the loop measures pure analysis cost.
+func RBLintSuite(b *testing.B) {
+	b.ReportAllocs()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(loader.ModRoot, "internal", "core"), "rbcast/internal/core")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.RunPackage(loader, pkg, analysis.Analyzers()); err != nil {
 			b.Fatal(err)
 		}
 	}
