@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race check soak fuzz fuzz-smoke bench-json bench-smoke clean
+.PHONY: all build vet lint lint-sarif test race check soak soak-byzantine fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -42,6 +42,15 @@ soak: build
 	$(GO) run ./cmd/rbsoak -class partition -count 500
 	$(GO) run ./cmd/rbsoak -class mixed -count 500
 	$(GO) run ./cmd/rbsoak -class recovery -count 500
+
+# soak-byzantine sweeps the adversarial classes: hostile hosts whose
+# traffic is rewritten at the transmit seam. Maskable seeds must
+# converge despite the adversary; trap seeds (equivocating source) pass
+# only when the harness catches the violation, so a clean sweep proves
+# both the protocol and the monitor.
+soak-byzantine: build
+	$(GO) run ./cmd/rbsoak -class byzantine -count 200
+	$(GO) run ./cmd/rbsoak -class byzantine-partition -count 200
 
 # bench-json records the perf-tracking suite (internal/bench) as a
 # BENCH_<date>.json snapshot via cmd/rbbench; schema in README

@@ -13,6 +13,7 @@ import (
 // replay-divergence bugs, and map iteration that feeds message emission
 // or ordered output diverges between runs of the same seed.
 var DetPackages = []string{
+	"rbcast/internal/adversary",
 	"rbcast/internal/core",
 	"rbcast/internal/sim",
 	"rbcast/internal/soak",
@@ -35,7 +36,7 @@ var DetPackages = []string{
 var DetLint = &Analyzer{
 	Name: "detlint",
 	Doc: "forbid wall-clock reads, math/rand, and order-sensitive map iteration " +
-		"in deterministic packages (core, sim, soak, seqset, wire)",
+		"in deterministic packages (adversary, core, sim, soak, seqset, wire)",
 	Run: runDetLint,
 }
 

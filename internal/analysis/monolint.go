@@ -47,14 +47,15 @@ var monoProtectedFields = map[string]bool{
 // prune path. MapOf is included for its benign copy-on-write write-back:
 // it re-stores the value it just read with only the COW mark changed.
 var monoApprovedMutators = map[string]bool{
-	"Broadcast":      true,
-	"handleData":     true,
-	"learnHas":       true,
-	"learnInfo":      true,
-	"mergeInfoFacts": true,
-	"sendMarking":    true,
-	"pruneStable":    true,
-	"MapOf":          true,
+	"Broadcast":       true,
+	"handleData":      true,
+	"learnHas":        true,
+	"learnInfo":       true,
+	"mergeInfoFacts":  true,
+	"sendMarking":     true,
+	"pruneStable":     true,
+	"MapOf":           true,
+	"acceptCertified": true,
 }
 
 // monoMutatingSetMethods are the seqset.Set methods that change

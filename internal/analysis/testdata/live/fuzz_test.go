@@ -1,0 +1,22 @@
+// Package live is the sibling live directory for wirelint's
+// envelope-fuzz coverage check: its Fuzz* body names MsgA and MsgB only
+// (as identifiers — the check scans names, mirroring how the real
+// internal/live corpus references core.MsgData etc.), so MsgC is
+// reported in ../wire as never seen by the envelope decoder.
+package live
+
+type placeholderKind int
+
+const (
+	MsgA placeholderKind = iota + 1
+	MsgB
+)
+
+type fuzzer interface{ Add(...any) }
+
+// FuzzDecodeEnvelope stands in for the live package's envelope fuzz
+// target; only function bodies named Fuzz* are scanned.
+func FuzzDecodeEnvelope(f fuzzer) {
+	f.Add(MsgA)
+	f.Add(MsgB)
+}

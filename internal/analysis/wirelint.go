@@ -24,10 +24,17 @@ import (
 // kind must additionally appear there by name: the benchmark suite's
 // codec cases are the regression tripwire for encode/decode cost, and a
 // kind missing from them can regress silently.
+//
+// When the codec package has a sibling live package (../live) with its
+// own Fuzz* functions, every kind must also be seeded there: the live
+// runtime wraps frames in a stream-prefixed envelope with its own
+// decoder, and a kind fuzzed only at the frame layer can still panic
+// the envelope path. Packages without such a sibling (or whose sibling
+// has no fuzz targets) are exempt.
 var WireLint = &Analyzer{
 	Name: "wirelint",
 	Doc: "every MsgKind must be handled by both Encode and Decode, seeded " +
-		"in a Fuzz* corpus, and covered by the sibling bench package",
+		"in a Fuzz* corpus, and covered by the sibling bench and live-fuzz packages",
 	Run: runWireLint,
 }
 
@@ -79,7 +86,53 @@ func runWireLint(pass *Pass) error {
 			}
 		}
 	}
+	if liveNames, ok := siblingLiveFuzzNames(pass); ok {
+		for _, k := range kinds {
+			if !liveNames[k.Name()] {
+				pass.Reportf(decode.Pos(),
+					"message kind %s is not seeded in the sibling live package's Fuzz* corpus: the envelope decoder never sees its layout", k.Name())
+			}
+		}
+	}
 	return nil
+}
+
+// siblingLiveFuzzNames parses the codec package's sibling live
+// directory (../live) and collects every identifier name inside Fuzz*
+// function bodies of its test files. ok is false when no such directory
+// exists or it declares no fuzz targets — such packages are exempt.
+func siblingLiveFuzzNames(pass *Pass) (map[string]bool, bool) {
+	dir := filepath.Join(filepath.Dir(pass.Dir), "live")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false
+	}
+	fset := token.NewFileSet()
+	names := make(map[string]bool)
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") || fd.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return names, found
 }
 
 // siblingBenchNames parses the codec package's sibling bench directory

@@ -262,6 +262,8 @@ func kindFrames() []wire.Frame {
 		}}},
 		{From: 3, Message: core.Message{Kind: core.MsgInfoDelta, Info: seqset.FromRange(85, 90),
 			Seq: 90, CheckLen: uint64(info.Len()), Parent: 2}},
+		{From: 3, Message: core.Message{Kind: core.MsgEcho, Seq: 91, CheckLen: 0x9e3779b97f4a7c15}},
+		{From: 3, Message: core.Message{Kind: core.MsgReady, Seq: 91, CheckLen: 0x9e3779b97f4a7c15}},
 	}
 }
 

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"hash/fnv"
+	"slices"
+	"time"
+
+	"rbcast/internal/seqset"
+)
+
+// Echo/ready hardening (Params.EchoReady): an optional Bracha-flavoured
+// layer over the paper's protocol for tolerating hosts that actively
+// lie. The paper's failure model is benign — links lose and reorder,
+// hosts fall silent — so a single forwarding host can equivocate:
+// deliver payload A for sequence s to one subtree and payload B to
+// another, and every correct host accepts whatever its parent relayed.
+//
+// With EchoReady on, receiving a data message no longer delivers it.
+// Instead the host holds the payload as *pending*, votes by echoing
+// (seq, digest) to every peer, and delivers only when the pending
+// digest is backed by 2f+1 ready votes, where readies are sent after an
+// echo quorum of (n+f)/2+1 matching votes (or amplified after f+1
+// readies). Two digests can never both gather an echo quorum while at
+// most f hosts are faulty, so correct hosts agree on the payload for
+// every sequence number they deliver — equivocation costs the
+// adversary liveness for that message, never agreement. Conflicting
+// votes or payloads for one sequence number are surfaced as
+// EvEquivocation events and counted (Equivocations), giving the harness
+// its detection counter.
+//
+// Tree propagation is unchanged: payloads still flow parent-to-child
+// and via gap fills, and a pending payload is forwarded immediately —
+// only *delivery* is quorum-gated. Echo and ready frames are
+// best-effort like everything else, so pending votes are re-advertised
+// at the routine INFO cadence, and a host that already delivered
+// answers any echo for that sequence number with its ready vote,
+// letting stragglers assemble a quorum long after the original burst.
+//
+// One §4.1 relaxation applies: a data message above the receiver's
+// current maximum is normally accepted only from the parent, but a
+// payload whose digest already holds a ready quorum is accepted from
+// anyone — the quorum, not the sender, is the authority. This lets a
+// host escape an equivocating parent once the rest of the network has
+// settled on the real payload.
+
+// payloadDigest fingerprints a data payload for echo/ready voting.
+// FNV-64a is not collision-resistant against an adversary who can
+// choose payloads offline; it is the honest-host agreement fingerprint
+// this simulator needs, chosen because the repo already leans on FNV
+// for deterministic seeding and carries no crypto dependencies.
+func payloadDigest(p []byte) uint64 {
+	d := fnv.New64a()
+	d.Write(p)
+	return d.Sum64()
+}
+
+// echoState tracks one sequence number's voting round.
+type echoState struct {
+	// payload/digest is the pending payload (nil once delivered; the
+	// digest is retained for post-delivery ready replies).
+	payload     []byte
+	digest      uint64
+	havePayload bool
+	// echoed / readySent record this host's own votes.
+	echoed    bool
+	readySent bool
+	// echoes / readies count votes per digest; echoFrom / readyFrom pin
+	// each peer to its first vote so a peer voting for two digests is
+	// counted once and flagged as equivocation.
+	echoes    map[uint64]map[HostID]bool
+	readies   map[uint64]map[HostID]bool
+	echoFrom  map[HostID]uint64
+	readyFrom map[HostID]uint64
+}
+
+// echoSt returns (creating on demand) the voting state for seq.
+func (h *Host) echoSt(seq seqset.Seq) *echoState {
+	st, ok := h.echo[seq]
+	if !ok {
+		st = &echoState{
+			echoes:    make(map[uint64]map[HostID]bool),
+			readies:   make(map[uint64]map[HostID]bool),
+			echoFrom:  make(map[HostID]uint64),
+			readyFrom: make(map[HostID]uint64),
+		}
+		h.echo[seq] = st
+	}
+	return st
+}
+
+// byzF is the assumed Byzantine budget f for quorum sizing.
+func (h *Host) byzF() int {
+	if h.params.EchoMaxFaulty > 0 {
+		return h.params.EchoMaxFaulty
+	}
+	return (len(h.peers) - 1) / 3
+}
+
+// echoQuorum is the matching-echo count that justifies a ready vote:
+// (n+f)/2+1, so two distinct digests cannot both reach it while at most
+// f voters are faulty.
+func (h *Host) echoQuorum() int { return (len(h.peers)+h.byzF())/2 + 1 }
+
+// readyQuorum is the ready count that justifies delivery: 2f+1, of
+// which at least f+1 are correct hosts that will keep answering.
+func (h *Host) readyQuorum() int { return 2*h.byzF() + 1 }
+
+// readyAmplify is the Bracha amplification threshold: f+1 readies prove
+// at least one correct host saw an echo quorum, so joining is safe even
+// without having seen the quorum first-hand.
+func (h *Host) readyAmplify() int { return h.byzF() + 1 }
+
+// Equivocations returns how many conflicting-vote observations this
+// host has made under EchoReady (0 when the mode is off).
+func (h *Host) Equivocations() uint64 { return h.equivocations }
+
+// recordEcho counts one echo vote for (seq, d). It reports whether the
+// vote was fresh; a peer changing its vote is flagged as equivocation
+// and not re-counted.
+func (h *Host) recordEcho(now time.Duration, from HostID, seq seqset.Seq, d uint64, st *echoState) bool {
+	if prev, ok := st.echoFrom[from]; ok {
+		if prev != d {
+			h.equivocations++
+			h.event(now, EvEquivocation, from, seq)
+		}
+		return false
+	}
+	st.echoFrom[from] = d
+	set := st.echoes[d]
+	if set == nil {
+		set = make(map[HostID]bool)
+		st.echoes[d] = set
+	}
+	set[from] = true
+	return true
+}
+
+// recordReady is recordEcho for the ready phase.
+func (h *Host) recordReady(now time.Duration, from HostID, seq seqset.Seq, d uint64, st *echoState) bool {
+	if prev, ok := st.readyFrom[from]; ok {
+		if prev != d {
+			h.equivocations++
+			h.event(now, EvEquivocation, from, seq)
+		}
+		return false
+	}
+	st.readyFrom[from] = d
+	set := st.readies[d]
+	if set == nil {
+		set = make(map[HostID]bool)
+		st.readies[d] = set
+	}
+	set[from] = true
+	return true
+}
+
+// broadcastMeta sends an echo or ready vote to every peer.
+func (h *Host) broadcastMeta(kind MsgKind, seq seqset.Seq, d uint64) {
+	m := Message{Kind: kind, Seq: seq, CheckLen: d}
+	for _, j := range h.peers {
+		if j != h.id {
+			h.emit(j, m)
+		}
+	}
+}
+
+// maybeReady casts this host's ready vote for (seq, d) if d just
+// reached the echo quorum or the f+1 ready amplification threshold.
+// Quorum checks run only for the digest whose count just changed, so no
+// map iteration (and no iteration-order dependence) is ever needed.
+func (h *Host) maybeReady(now time.Duration, seq seqset.Seq, d uint64, st *echoState) {
+	if st.readySent {
+		return
+	}
+	if len(st.echoes[d]) < h.echoQuorum() && len(st.readies[d]) < h.readyAmplify() {
+		return
+	}
+	st.readySent = true
+	h.recordReady(now, h.id, seq, d, st)
+	h.broadcastMeta(MsgReady, seq, d)
+}
+
+// maybeDeliver delivers the pending payload for seq if its digest is d
+// and d holds a ready quorum.
+func (h *Host) maybeDeliver(now time.Duration, from HostID, seq seqset.Seq, d uint64, st *echoState) {
+	if seq <= h.prunedTo || h.info.Contains(seq) {
+		return
+	}
+	if !st.havePayload || st.digest != d {
+		return
+	}
+	if len(st.readies[d]) < h.readyQuorum() {
+		return
+	}
+	h.acceptCertified(now, from, seq, st)
+}
+
+// acceptCertified is the echo-mode counterpart of the §4.1 acceptance
+// in handleData: the quorum-certified pending payload enters INFO and
+// the store and is delivered. The payload was already forwarded when it
+// became pending; post-delivery redistribution rides the normal gap
+// fills.
+func (h *Host) acceptCertified(now time.Duration, from HostID, seq seqset.Seq, st *echoState) {
+	h.info.Add(seq)
+	h.store[seq] = st.payload
+	st.payload = nil
+	h.env.Deliver(seq, h.store[seq])
+	h.event(now, EvAccepted, from, seq)
+}
+
+// handleDataEcho is the EchoReady replacement for the acceptance half
+// of handleData: the payload goes pending and is voted on instead of
+// being delivered outright. Caller has already done learnHas and the
+// duplicate check.
+func (h *Host) handleDataEcho(now time.Duration, from HostID, m Message) {
+	d := payloadDigest(m.Payload)
+	st := h.echoSt(m.Seq)
+	certified := len(st.readies[d]) >= h.readyQuorum()
+	newMax := m.Seq > h.info.Max()
+	// §4.1 with the quorum relaxation: a new-maximum payload is accepted
+	// from the parent or on the strength of a ready quorum for its digest.
+	if newMax && from != h.parent && !certified {
+		h.event(now, EvRejected, from, m.Seq)
+		if !m.GapFill {
+			h.emit(from, Message{Kind: MsgDetach})
+		}
+		return
+	}
+	if st.havePayload && st.digest != d {
+		// A different payload for a sequence number already pending:
+		// direct evidence of equivocation. Adopt the replacement only
+		// when a ready quorum vouches for it; otherwise first-come wins
+		// and the conflict is just counted.
+		h.equivocations++
+		h.event(now, EvEquivocation, from, m.Seq)
+		if !certified {
+			return
+		}
+	}
+	first := !st.havePayload
+	if first || (certified && st.digest != d) {
+		st.payload = append([]byte(nil), m.Payload...)
+		st.digest = d
+		st.havePayload = true
+	}
+	if !st.echoed {
+		st.echoed = true
+		h.recordEcho(now, h.id, m.Seq, st.digest, st)
+		h.broadcastMeta(MsgEcho, m.Seq, st.digest)
+	}
+	if first {
+		// Propagation is not quorum-gated — forward exactly as the plain
+		// protocol would, so the tree latency story is unchanged.
+		h.forwardData(from, m.Seq, st.payload, newMax && !m.GapFill)
+	}
+	h.maybeReady(now, m.Seq, st.digest, st)
+	h.maybeDeliver(now, from, m.Seq, st.digest, st)
+}
+
+// forwardData relays a data payload: downward to all children for a
+// normal new-maximum arrival, or as §4.4 gap fills to parent-graph
+// neighbours that lack it.
+func (h *Host) forwardData(from HostID, seq seqset.Seq, payload []byte, downward bool) {
+	if downward {
+		fwd := Message{Kind: MsgData, Seq: seq, Payload: payload}
+		for _, c := range h.Children() {
+			if c != from {
+				h.sendMarking(c, fwd)
+			}
+		}
+		return
+	}
+	fwd := Message{Kind: MsgData, Seq: seq, Payload: payload, GapFill: true}
+	for _, nb := range h.neighbors() {
+		if nb == from || h.maps[nb].Contains(seq) {
+			continue
+		}
+		if !h.children[nb] && seq > h.maps[nb].Max() {
+			continue
+		}
+		h.sendMarking(nb, fwd)
+	}
+}
+
+func (h *Host) handleEcho(now time.Duration, from HostID, m Message) {
+	if !h.params.EchoReady || m.Seq == 0 || m.Seq <= h.prunedTo {
+		return
+	}
+	st := h.echoSt(m.Seq)
+	h.recordEcho(now, from, m.Seq, m.CheckLen, st)
+	if h.info.Contains(m.Seq) {
+		// Already delivered: answer with our ready vote so a straggler
+		// whose original vote burst was lost can still reach its quorum.
+		h.emit(from, Message{Kind: MsgReady, Seq: m.Seq, CheckLen: st.digest})
+		return
+	}
+	h.maybeReady(now, m.Seq, m.CheckLen, st)
+	h.maybeDeliver(now, from, m.Seq, m.CheckLen, st)
+}
+
+func (h *Host) handleReady(now time.Duration, from HostID, m Message) {
+	if !h.params.EchoReady || m.Seq == 0 || m.Seq <= h.prunedTo {
+		return
+	}
+	st := h.echoSt(m.Seq)
+	if !h.recordReady(now, from, m.Seq, m.CheckLen, st) {
+		return
+	}
+	if h.info.Contains(m.Seq) {
+		return
+	}
+	h.maybeReady(now, m.Seq, m.CheckLen, st)
+	h.maybeDeliver(now, from, m.Seq, m.CheckLen, st)
+}
+
+// resendEchoMeta re-advertises this host's votes for every sequence
+// number still pending, at the routine INFO cadence. Votes travel on
+// the same best-effort network as everything else; without periodic
+// re-advertisement a lossy burst could leave a quorum permanently one
+// vote short.
+func (h *Host) resendEchoMeta() {
+	if len(h.echo) == 0 {
+		return
+	}
+	pending := make([]seqset.Seq, 0, len(h.echo))
+	for q := range h.echo {
+		if q > h.prunedTo && !h.info.Contains(q) {
+			pending = append(pending, q)
+		}
+	}
+	slices.Sort(pending)
+	for _, q := range pending {
+		st := h.echo[q]
+		if st.echoed {
+			h.broadcastMeta(MsgEcho, q, st.echoFrom[h.id])
+		}
+		if st.readySent {
+			h.broadcastMeta(MsgReady, q, st.readyFrom[h.id])
+		}
+	}
+}
+
+// pruneEchoStates drops voting state for pruned sequence numbers; they
+// are globally held, so no straggler can still need the votes.
+func (h *Host) pruneEchoStates() {
+	for q := range h.echo {
+		if q <= h.prunedTo {
+			delete(h.echo, q)
+		}
+	}
+}

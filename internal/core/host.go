@@ -64,6 +64,12 @@ type Host struct {
 	infoView     map[HostID]seqset.Set
 	infoSynced   map[HostID]bool
 
+	// echo tracks per-sequence echo/ready voting under Params.EchoReady
+	// (nil otherwise); equivocations counts conflicting-vote
+	// observations. See echo.go.
+	echo          map[seqset.Seq]*echoState
+	equivocations uint64
+
 	lastFromParent time.Duration
 	started        bool
 	nextSeq        seqset.Seq // source only: next sequence number to assign
@@ -162,6 +168,9 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 		h.sinceFull = make(map[HostID]int)
 		h.infoView = make(map[HostID]seqset.Set)
 		h.infoSynced = make(map[HostID]bool)
+	}
+	if cfg.Params.EchoReady {
+		h.echo = make(map[seqset.Seq]*echoState)
 	}
 	return h, nil
 }
@@ -265,6 +274,21 @@ func (h *Host) Broadcast(now time.Duration, payload []byte) seqset.Seq {
 	m := Message{Kind: MsgData, Seq: seq, Payload: h.store[seq]}
 	for _, c := range h.Children() {
 		h.sendMarking(c, m)
+	}
+	if h.params.EchoReady {
+		// The source's own votes: it delivered the real payload, so both
+		// its echo and its ready are legitimate immediately and seed the
+		// quorums everyone else needs.
+		d := payloadDigest(h.store[seq])
+		st := h.echoSt(seq)
+		st.digest = d
+		st.havePayload = true
+		st.echoed = true
+		st.readySent = true
+		h.recordEcho(now, h.id, seq, d, st)
+		h.recordReady(now, h.id, seq, d, st)
+		h.broadcastMeta(MsgEcho, seq, d)
+		h.broadcastMeta(MsgReady, seq, d)
 	}
 	return seq
 }
@@ -414,6 +438,10 @@ func (h *Host) dispatch(now time.Duration, from HostID, m Message) {
 		h.handleAttachReject(now, from)
 	case MsgDetach:
 		h.handleDetach(now, from)
+	case MsgEcho:
+		h.handleEcho(now, from, m)
+	case MsgReady:
+		h.handleReady(now, from, m)
 	}
 }
 
@@ -426,6 +454,10 @@ func (h *Host) handleData(now time.Duration, from HostID, m Message) {
 
 	if m.Seq <= h.prunedTo || h.info.Contains(m.Seq) {
 		h.event(now, EvDuplicate, from, m.Seq)
+		return
+	}
+	if h.params.EchoReady {
+		h.handleDataEcho(now, from, m)
 		return
 	}
 	// §4.1: a message numbered higher than anything seen so far is
@@ -615,6 +647,9 @@ func (h *Host) Tick(now time.Duration) {
 	if now >= h.nextInfoLocal {
 		h.nextInfoLocal = now + h.params.InfoClusterPeriod
 		h.sendInfoLocal()
+		if h.params.EchoReady {
+			h.resendEchoMeta()
+		}
 	}
 	if now >= h.nextInfoRemote {
 		h.nextInfoRemote = now + h.params.InfoRemotePeriod
@@ -646,6 +681,9 @@ func (h *Host) Tick(now time.Duration) {
 	}
 	if h.params.PruneStable {
 		h.pruneStable()
+		if h.params.EchoReady {
+			h.pruneEchoStates()
+		}
 	}
 }
 

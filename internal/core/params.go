@@ -122,6 +122,21 @@ type Params struct {
 	// MsgInfo — byte-identical to the plain paper protocol.
 	DeltaInfo bool
 
+	// EchoReady enables the optional Bracha-flavoured hardening mode: a
+	// data message is delivered only once the host has seen an echo
+	// quorum ((n+f)/2+1 matching payload-digest votes) amplified into
+	// 2f+1 ready votes, where n is the participant count and f the
+	// assumed Byzantine budget (EchoMaxFaulty). This preserves agreement
+	// among correct hosts when up to f hosts equivocate — at the price of
+	// O(n) extra control messages per broadcast and extra delivery
+	// latency. The zero value runs the plain paper protocol with a
+	// byte-identical wire and schedule.
+	EchoReady bool
+	// EchoMaxFaulty is the assumed Byzantine budget f for EchoReady
+	// quorum sizing. Zero means ⌊(n−1)/3⌋, the classical maximum. Only
+	// meaningful (and only valid nonzero) when EchoReady is on.
+	EchoMaxFaulty int
+
 	// BackoffBase enables the per-peer health layer when positive: a
 	// peer that fails SuspicionAfter consecutive probes (attach-ack
 	// timeouts, parent-silence timeouts) becomes suspected, and
@@ -212,6 +227,12 @@ func (p Params) Validate() error {
 	case ClusterDynamic, ClusterStatic, ClusterNone:
 	default:
 		return fmt.Errorf("core: unknown ClusterMode %d", int(p.ClusterMode))
+	}
+	if p.EchoMaxFaulty < 0 {
+		return fmt.Errorf("core: EchoMaxFaulty must be ≥ 0, got %d", p.EchoMaxFaulty)
+	}
+	if p.EchoMaxFaulty > 0 && !p.EchoReady {
+		return errors.New("core: EchoMaxFaulty set without EchoReady")
 	}
 	if p.BackoffBase != 0 || p.BackoffMax != 0 || p.BackoffMultiplier != 0 || p.SuspicionAfter != 0 {
 		if p.BackoffBase <= 0 {

@@ -30,6 +30,11 @@ type soup struct {
 	cheap map[[2]core.HostID]bool
 	// reachable toggles for partition phases.
 	reachable func(a, b core.HostID) bool
+	// mangle, when set, rewrites a host's outbound messages before they
+	// enter the pool — the soup-level equivalent of the netsim transmit
+	// seam. It lets a Byzantine phase equivocate, lie, and replay without
+	// the host under test ever executing hostile code.
+	mangle func(msg soupMsg) []soupMsg
 }
 
 func (s *soup) pairKey(a, b core.HostID) [2]core.HostID {
@@ -51,13 +56,19 @@ type soupEnv struct {
 }
 
 func (e soupEnv) Send(to core.HostID, m core.Message) {
-	if len(e.s.pending) >= maxPool {
-		// Evict a random queued message.
-		i := e.s.rng.Intn(len(e.s.pending))
-		e.s.pending[i] = e.s.pending[len(e.s.pending)-1]
-		e.s.pending = e.s.pending[:len(e.s.pending)-1]
+	msgs := []soupMsg{{from: e.id, to: to, m: m}}
+	if e.s.mangle != nil {
+		msgs = e.s.mangle(msgs[0])
 	}
-	e.s.pending = append(e.s.pending, soupMsg{from: e.id, to: to, m: m})
+	for _, msg := range msgs {
+		if len(e.s.pending) >= maxPool {
+			// Evict a random queued message.
+			i := e.s.rng.Intn(len(e.s.pending))
+			e.s.pending[i] = e.s.pending[len(e.s.pending)-1]
+			e.s.pending = e.s.pending[:len(e.s.pending)-1]
+		}
+		e.s.pending = append(e.s.pending, msg)
+	}
 }
 
 func (e soupEnv) Deliver(seq seqset.Seq, _ []byte) {
@@ -311,6 +322,116 @@ func TestSoupRandomInterleavings(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSoupWithByzantineHost covers the adversarial-input edge: one
+// non-source host's outbound traffic is rewritten — per-destination
+// payload equivocation, lying INFO sets and parent pointers, empty
+// attach-request INFO, and stale-frame replay — while every host keeps
+// executing only correct protocol code. The safety invariants
+// checkSafety asserts are exactly what the approved-mutator discipline
+// (monolint) protects: INFO membership identical to the delivered set,
+// no duplicate deliveries, sane parent pointers. They must hold at
+// every sampled moment regardless of what arrives on the wire. Once the
+// adversary relents, liveness must hold too — lies are forgotten state,
+// not poison.
+func TestSoupWithByzantineHost(t *testing.T) {
+	clusters := [][]core.HostID{{1, 2, 3}, {4, 5, 6}}
+	// Whether the adversary relays data frames (the equivocation arm)
+	// depends on whether the chaos ever makes it a parent or gap filler,
+	// which varies by seed; the activity assertion therefore aggregates
+	// across the seed table, while safety and liveness are per seed.
+	var forged, infoLies, replays int
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newSoupWorld(t, seed, 6, clusters)
+			// The adversary sits in the source's cluster, where it actually
+			// relays data (as a parent and as a cluster gap filler) — so the
+			// payload-equivocation arm genuinely fires.
+			const evil = core.HostID(2)
+			var history []soupMsg
+			forgeData := func(m *core.Message, to core.HostID) {
+				if m.Kind == core.MsgData {
+					m.Payload = append(append([]byte(nil), m.Payload...), byte(to))
+					forged++
+				}
+			}
+			w.s.mangle = func(msg soupMsg) []soupMsg {
+				if msg.from != evil {
+					return []soupMsg{msg}
+				}
+				rng := w.s.rng
+				out := msg
+				switch out.m.Kind {
+				case core.MsgData:
+					forgeData(&out.m, out.to)
+				case core.MsgBundle:
+					parts := append([]core.Message(nil), out.m.Parts...)
+					for i := range parts {
+						forgeData(&parts[i], out.to)
+					}
+					out.m.Parts = parts
+				case core.MsgInfo:
+					// Claim a random sub/superset of everything broadcast so
+					// far, under a random parent pointer. Every claimed seq
+					// exists, so the lie wastes effort without fabricating
+					// undeliverable expectations.
+					var lie seqset.Set
+					for q := seqset.Seq(1); q <= w.sent; q++ {
+						if rng.Intn(4) > 0 {
+							lie.Add(q)
+						}
+					}
+					out.m.Info = lie
+					out.m.Parent = w.peers[rng.Intn(len(w.peers))]
+					infoLies++
+				case core.MsgAttachReq:
+					// Understate INFO so a would-be parent wastes gap fills.
+					out.m.Info = seqset.Set{}
+					infoLies++
+				}
+				msgs := []soupMsg{out}
+				if len(history) > 0 && rng.Intn(5) == 0 {
+					old := history[rng.Intn(len(history))]
+					old.to = w.peers[rng.Intn(len(w.peers))]
+					if old.to != evil {
+						msgs = append(msgs, old)
+						replays++
+					}
+				}
+				history = append(history, out)
+				if len(history) > 256 {
+					history = history[1:]
+				}
+				return msgs
+			}
+			for i := 0; i < 4000; i++ {
+				w.step(0.15)
+				if i%500 == 0 {
+					w.checkSafety(t)
+				}
+			}
+			w.checkSafety(t)
+			// Adversary relents; with honest traffic restored every host —
+			// including the former liar, whose internal state was honest all
+			// along — must converge on the complete set.
+			w.s.mangle = nil
+			w.settle()
+			w.checkSafety(t)
+			for id, h := range w.hosts {
+				info := h.Info()
+				if info.Max() != w.sent || info.GapCount() != 0 {
+					t.Errorf("host %d did not converge after byzantine phase: %v, want 1..%d",
+						id, info, w.sent)
+				}
+			}
+		})
+	}
+	if forged == 0 || infoLies == 0 || replays == 0 {
+		t.Fatalf("adversary idle across all seeds (forged=%d infoLies=%d replays=%d); the run proves nothing",
+			forged, infoLies, replays)
 	}
 }
 

@@ -16,6 +16,9 @@ func TestMsgKindStrings(t *testing.T) {
 		core.MsgAttachReject: "attach-reject",
 		core.MsgDetach:       "detach",
 		core.MsgBundle:       "bundle",
+		core.MsgInfoDelta:    "info-delta",
+		core.MsgEcho:         "echo",
+		core.MsgReady:        "ready",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
@@ -34,6 +37,7 @@ func TestIsControl(t *testing.T) {
 	for _, k := range []core.MsgKind{
 		core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
 		core.MsgAttachReject, core.MsgDetach, core.MsgBundle,
+		core.MsgInfoDelta, core.MsgEcho, core.MsgReady,
 	} {
 		if !k.IsControl() {
 			t.Errorf("%v not classified as control", k)
@@ -46,7 +50,7 @@ func TestEventKindStrings(t *testing.T) {
 		core.EvAccepted, core.EvDuplicate, core.EvRejected, core.EvAttached,
 		core.EvAttachFailed, core.EvParentTimeout, core.EvCycleBroken,
 		core.EvChildAdded, core.EvChildRemoved,
-		core.EvPeerSuspected, core.EvPeerRecovered,
+		core.EvPeerSuspected, core.EvPeerRecovered, core.EvEquivocation,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

@@ -72,6 +72,16 @@ const (
 	// Params.DeltaInfo is on and the delta coding is strictly smaller;
 	// senders periodically resynchronize with a full MsgInfo.
 	MsgInfoDelta
+	// MsgEcho is the first voting phase of the optional Bracha-flavoured
+	// hardening mode (Params.EchoReady): "I received a data message with
+	// this sequence number and this payload digest". Seq carries the
+	// sequence number and CheckLen the digest; the payload itself is not
+	// repeated.
+	MsgEcho
+	// MsgReady is the second voting phase of the hardening mode: "enough
+	// peers echoed this (sequence, digest) that delivering it is safe".
+	// Field usage matches MsgEcho.
+	MsgReady
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +103,10 @@ func (k MsgKind) String() string {
 		return "bundle"
 	case MsgInfoDelta:
 		return "info-delta"
+	case MsgEcho:
+		return "echo"
+	case MsgReady:
+		return "ready"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -129,6 +143,7 @@ type Message struct {
 	// full INFO set. Together with Seq (which a delta reuses for the full
 	// set's maximum) it lets the receiver verify its reconstructed view
 	// before trusting it for anything beyond monotone union.
+	// MsgEcho and MsgReady reuse it for the payload digest being voted on.
 	CheckLen uint64
 
 	// Parts holds the piggybacked messages of a MsgBundle; the parts
@@ -168,6 +183,12 @@ const (
 	// EvPeerRecovered: a message arrived from a suspected peer; the
 	// suspicion cleared and a fast-resync burst was scheduled.
 	EvPeerRecovered
+	// EvEquivocation: under Params.EchoReady the host observed two
+	// conflicting payload digests for the same sequence number — proof
+	// that some host equivocated. Peer names the host whose message
+	// exposed the conflict (it carried the later of the two digests, and
+	// is not necessarily the equivocator itself).
+	EvEquivocation
 )
 
 // String implements fmt.Stringer.
@@ -195,6 +216,8 @@ func (k EventKind) String() string {
 		return "peer-suspected"
 	case EvPeerRecovered:
 		return "peer-recovered"
+	case EvEquivocation:
+		return "equivocation"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

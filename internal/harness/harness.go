@@ -7,8 +7,10 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
+	"rbcast/internal/adversary"
 	"rbcast/internal/basic"
 	"rbcast/internal/core"
 	"rbcast/internal/netsim"
@@ -83,6 +85,12 @@ type Scenario struct {
 	StopWhenComplete bool
 	// CollectEvents retains protocol events in the result (tree only).
 	CollectEvents bool
+	// Adversaries places a Byzantine behavior stack on each named host.
+	// The host keeps running the unmodified protocol code; its outbound
+	// traffic is rewritten at the netsim transmit seam by
+	// internal/adversary. Runs stay deterministic — behaviors draw only
+	// from a seed-derived RNG.
+	Adversaries map[core.HostID][]adversary.Behavior
 }
 
 func (s Scenario) withDefaults() (Scenario, error) {
@@ -127,9 +135,16 @@ type Runtime struct {
 	// BasicSource and BasicReceivers are set for baseline runs.
 	BasicSource    *basic.Source
 	BasicReceivers map[core.HostID]*basic.Receiver
+	// Adversary controls the Byzantine hosts, when the scenario has any.
+	Adversary *adversary.Controller
 
 	scenario Scenario
 	result   *Result
+	// broadcasting is true while a Broadcast call is on the stack: the
+	// source delivers to itself synchronously, before the caller can
+	// register the new sequence number in BroadcastAt, and record must
+	// not mistake that self-delivery for an adversary-fabricated frame.
+	broadcasting bool
 }
 
 // Run executes the scenario to completion and returns the result.
@@ -172,6 +187,13 @@ func Prepare(s Scenario) (*Runtime, error) {
 		}
 	default:
 		return nil, fmt.Errorf("harness: unknown protocol %v", s.Protocol)
+	}
+	if len(s.Adversaries) > 0 {
+		ctl, err := adversary.Attach(rt.Net, s.Seed, s.Adversaries)
+		if err != nil {
+			return nil, fmt.Errorf("harness: attaching adversaries: %w", err)
+		}
+		rt.Adversary = ctl
 	}
 	rt.scheduleWorkload()
 	for _, ev := range s.Events {
@@ -303,15 +325,19 @@ func (rt *Runtime) instrument() {
 func (rt *Runtime) BroadcastNow(payload []byte) error {
 	now := rt.Engine.Now()
 	var seq seqset.Seq
+	rt.broadcasting = true
 	switch rt.scenario.Protocol {
 	case ProtocolTree:
 		seq = rt.TreeHosts[core.HostID(rt.Topo.Source)].Broadcast(now, payload)
 	case ProtocolBasic:
 		seq = rt.BasicSource.Broadcast(now, payload)
 	default:
+		rt.broadcasting = false
 		return fmt.Errorf("harness: unknown protocol %v", rt.scenario.Protocol)
 	}
+	rt.broadcasting = false
 	rt.result.BroadcastAt[seq] = now
+	rt.result.BroadcastDigest[seq] = fnvDigest(payload)
 	rt.result.ManualMessages++
 	rt.result.ExpectedCount += rt.result.Hosts
 	rt.result.Complete = rt.result.DeliveredCount == rt.result.ExpectedCount
@@ -377,8 +403,8 @@ func (e treeEnv) Send(to core.HostID, m core.Message) {
 	}
 }
 
-func (e treeEnv) Deliver(seq seqset.Seq, _ []byte) {
-	e.rt.record(e.id, seq)
+func (e treeEnv) Deliver(seq seqset.Seq, payload []byte) {
+	e.rt.record(e.id, seq, payload)
 }
 
 func (rt *Runtime) buildTree() error {
@@ -450,8 +476,8 @@ func (e basicEnv) Send(to core.HostID, m basic.Message) {
 	}
 }
 
-func (e basicEnv) Deliver(seq seqset.Seq, _ []byte) {
-	e.rt.record(e.id, seq)
+func (e basicEnv) Deliver(seq seqset.Seq, payload []byte) {
+	e.rt.record(e.id, seq, payload)
 }
 
 func (rt *Runtime) buildBasic() error {
@@ -516,18 +542,21 @@ func (rt *Runtime) scheduleWorkload() {
 		rt.Engine.Schedule(at, func() {
 			now := rt.Engine.Now()
 			var seq seqset.Seq
+			rt.broadcasting = true
 			switch s.Protocol {
 			case ProtocolTree:
 				seq = rt.TreeHosts[core.HostID(rt.Topo.Source)].Broadcast(now, payload)
 			case ProtocolBasic:
 				seq = rt.BasicSource.Broadcast(now, payload)
 			}
+			rt.broadcasting = false
 			rt.result.BroadcastAt[seq] = now
+			rt.result.BroadcastDigest[seq] = fnvDigest(payload)
 		})
 	}
 }
 
-func (rt *Runtime) record(id core.HostID, seq seqset.Seq) {
+func (rt *Runtime) record(id core.HostID, seq seqset.Seq, payload []byte) {
 	res := rt.result
 	now := rt.Engine.Now()
 	per, ok := res.DeliveredAt[id]
@@ -540,12 +569,43 @@ func (rt *Runtime) record(id core.HostID, seq seqset.Seq) {
 		return
 	}
 	per[seq] = now
-	res.DeliveredCount++
-	if sent, ok := res.BroadcastAt[seq]; ok {
-		res.Delays.Add(now - sent)
+	dig, ok := res.DeliveredDigest[id]
+	if !ok {
+		dig = make(map[seqset.Seq]uint64)
+		res.DeliveredDigest[id] = dig
 	}
+	dig[seq] = fnvDigest(payload)
+	sent, known := res.BroadcastAt[seq]
+	if !known {
+		if !rt.broadcasting {
+			// A sequence number nobody broadcast can only come from an
+			// adversary fabricating frames; counting it toward completion
+			// would let forged traffic satisfy StopWhenComplete.
+			res.ForeignDeliveries++
+			return
+		}
+		// Source self-delivery inside its own Broadcast call: the caller
+		// registers the sequence number right after it returns. Count the
+		// delivery; there is no meaningful delay sample (sent == now).
+		res.DeliveredCount++
+		if res.DeliveredCount == res.ExpectedCount && !res.Complete {
+			res.Complete = true
+			res.CompletionAt = now
+		}
+		return
+	}
+	res.DeliveredCount++
+	res.Delays.Add(now - sent)
 	if res.DeliveredCount == res.ExpectedCount && !res.Complete {
 		res.Complete = true
 		res.CompletionAt = now
 	}
+}
+
+// fnvDigest mirrors the echo/ready payload fingerprint in internal/core,
+// so the harness's agreement checks compare the same value hosts vote on.
+func fnvDigest(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
 }

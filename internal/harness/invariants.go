@@ -6,6 +6,7 @@ import (
 
 	"rbcast/internal/core"
 	"rbcast/internal/netsim"
+	"rbcast/internal/seqset"
 )
 
 // This file checks the paper's structural claims about the host parent
@@ -128,7 +129,7 @@ func (rt *Runtime) InducesClusterTree() (bool, string) {
 type Violation struct {
 	// Invariant is a stable identifier ("acyclic", "spanning-tree",
 	// "cluster-tree", "delivery", "duplicates", "send-errors",
-	// "backoff-liveness").
+	// "backoff-liveness", "byz-agreement", "byz-forged-frame").
 	Invariant string
 	// Detail explains the specific failure.
 	Detail string
@@ -182,10 +183,72 @@ func (rt *Runtime) CheckInvariants(opts InvariantOptions) []Violation {
 	}
 	if opts.RequireDelivery {
 		for _, h := range rt.sortedHosts() {
+			if rt.adversarial(h) {
+				// An adversary may silence or corrupt its own traffic; the
+				// paper's delivery guarantee is owed to correct hosts only.
+				continue
+			}
 			if missing := res.MissingAt(h); len(missing) > 0 {
 				out = append(out, Violation{"delivery",
 					fmt.Sprintf("host %d missing %d of %d messages (first %v)",
 						h, len(missing), res.TotalMessages(), missing[0])})
+			}
+		}
+	}
+	if rt.Adversary != nil {
+		out = append(out, rt.checkByzantine()...)
+	}
+	return out
+}
+
+// adversarial reports whether h is under adversary control this run.
+func (rt *Runtime) adversarial(h core.HostID) bool {
+	return rt.Adversary != nil && rt.Adversary.Controls(h)
+}
+
+// checkByzantine applies the two agreement invariants that matter once
+// adversaries are in play. "byz-forged-frame": every payload a correct
+// host delivers must carry the digest the source actually broadcast for
+// that sequence number — and a sequence number nobody broadcast is a
+// fabrication by definition. "byz-agreement": any two correct hosts
+// delivering the same sequence number delivered the same digest (the
+// pairwise consequence of the former, kept as its own named invariant
+// because equivocation breaks it even when the broadcast record is
+// unavailable to an observer). Hosts and sequence numbers are visited in
+// ascending order, so the report is byte-for-byte deterministic.
+func (rt *Runtime) checkByzantine() []Violation {
+	var out []Violation
+	res := rt.result
+	firstHost := map[seqset.Seq]core.HostID{}
+	firstDigest := map[seqset.Seq]uint64{}
+	for _, h := range rt.sortedHosts() {
+		if rt.adversarial(h) {
+			continue
+		}
+		per := res.DeliveredDigest[h]
+		seqs := make([]seqset.Seq, 0, len(per))
+		for q := range per {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, q := range seqs {
+			d := per[q]
+			if want, broadcast := res.BroadcastDigest[q]; !broadcast {
+				out = append(out, Violation{"byz-forged-frame",
+					fmt.Sprintf("host %d delivered fabricated seq %d that no source broadcast", h, q)})
+			} else if d != want {
+				out = append(out, Violation{"byz-forged-frame",
+					fmt.Sprintf("host %d delivered seq %d with digest %#x; source sent %#x", h, q, d, want)})
+			}
+			if prev, seen := firstHost[q]; seen {
+				if firstDigest[q] != d {
+					out = append(out, Violation{"byz-agreement",
+						fmt.Sprintf("hosts %d and %d delivered different payloads for seq %d (%#x vs %#x)",
+							prev, h, q, firstDigest[q], d)})
+				}
+			} else {
+				firstHost[q] = h
+				firstDigest[q] = d
 			}
 		}
 	}

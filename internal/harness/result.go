@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"rbcast/internal/adversary"
 	"rbcast/internal/core"
 	"rbcast/internal/metrics"
 	"rbcast/internal/netsim"
@@ -44,6 +45,17 @@ type Result struct {
 	// DuplicateDeliveries counts Deliver calls for already-delivered
 	// (host, seq) pairs; protocol invariants say this must be zero.
 	DuplicateDeliveries int
+	// BroadcastDigest records the FNV-64a payload digest per broadcast
+	// sequence number — the ground truth the Byzantine invariants compare
+	// deliveries against.
+	BroadcastDigest map[seqset.Seq]uint64
+	// DeliveredDigest records the digest of the payload each host actually
+	// delivered, per sequence number.
+	DeliveredDigest map[core.HostID]map[seqset.Seq]uint64
+	// ForeignDeliveries counts deliveries of sequence numbers no source
+	// ever broadcast — frames an adversary fabricated. They never count
+	// toward DeliveredCount or completion.
+	ForeignDeliveries int
 
 	// SendsByKind counts host-level sends per message kind ("data",
 	// "gapfill", "info", "attach-req", "attach-accept", "attach-reject",
@@ -96,6 +108,14 @@ type Result struct {
 	// the end of the run.
 	SuspectedPairs int
 
+	// AdversaryHosts lists the scenario's Byzantine hosts, ascending.
+	AdversaryHosts []core.HostID
+	// AdversaryStats reports each adversary host's hostile-action counters.
+	AdversaryStats map[core.HostID]adversary.Stats
+	// EquivocationsDetected sums the per-host equivocation-conflict
+	// counters (tree protocol; nonzero only in echo/ready mode).
+	EquivocationsDetected uint64
+
 	// FinalParents is the tree protocol's parent pointer per host at the
 	// end of the run.
 	FinalParents map[core.HostID]core.HostID
@@ -123,7 +143,9 @@ func newResult(s Scenario, tp *topo.Topology) *Result {
 		Clusters:               len(tp.HostsByCluster),
 		Messages:               s.Messages,
 		BroadcastAt:            make(map[seqset.Seq]time.Duration),
+		BroadcastDigest:        make(map[seqset.Seq]uint64),
 		DeliveredAt:            make(map[core.HostID]map[seqset.Seq]time.Duration),
+		DeliveredDigest:        make(map[core.HostID]map[seqset.Seq]uint64),
 		ExpectedCount:          len(tp.Hosts) * s.Messages,
 		SendsByKind:            make(map[string]uint64),
 		InterClusterByKind:     make(map[string]uint64),
@@ -144,6 +166,17 @@ func (rt *Runtime) finalize() {
 		res.ResyncBursts = rt.TotalResyncBursts()
 		res.SuppressedSends = rt.TotalSuppressedSends()
 		res.SuspectedPairs = rt.SuspectedPairs()
+		res.EquivocationsDetected = 0
+		for _, h := range rt.TreeHosts {
+			res.EquivocationsDetected += h.Equivocations()
+		}
+	}
+	if rt.Adversary != nil {
+		res.AdversaryHosts = rt.Adversary.Hosts()
+		res.AdversaryStats = make(map[core.HostID]adversary.Stats, len(res.AdversaryHosts))
+		for _, h := range res.AdversaryHosts {
+			res.AdversaryStats[h] = rt.Adversary.StatsOf(h)
+		}
 	}
 }
 

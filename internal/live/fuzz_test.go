@@ -28,6 +28,26 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			{Kind: core.MsgDetach},
 			{Kind: core.MsgData, Seq: 1, GapFill: true},
 		}}}},
+		{2, wire.Frame{From: 5, Message: core.Message{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 12)}}},
+		{2, wire.Frame{From: 6, Message: core.Message{Kind: core.MsgAttachReject}}},
+		{3, wire.Frame{From: 7, Message: core.Message{Kind: core.MsgInfoDelta,
+			Info: seqset.FromSlice([]seqset.Seq{6, 7, 10}), Parent: 1, Seq: 10, CheckLen: 8}}},
+		{3, wire.Frame{From: 8, Message: core.Message{Kind: core.MsgEcho, Seq: 4, CheckLen: 0xdecafbad}}},
+		{3, wire.Frame{From: 9, Message: core.Message{Kind: core.MsgReady, Seq: 4, CheckLen: 0xdecafbad}}},
+		// Adversarial shapes from the Byzantine fault-injection layer
+		// (internal/adversary). An equivocated pair: the same (from, seq)
+		// under two different payloads — each variant is a legal envelope,
+		// and the decoder must treat both impartially (detecting the
+		// conflict is the protocol's job, not the codec's).
+		{4, wire.Frame{From: 10, Message: core.Message{Kind: core.MsgData, Seq: 21, Payload: []byte("genuine")}}},
+		{4, wire.Frame{From: 10, Message: core.Message{Kind: core.MsgData, Seq: 21, Payload: []byte("forged-for-5")}}},
+		// An oversized single-run INFO claim (interval-coded, so legal on
+		// the wire however absurd), and a delta whose checksum can never
+		// verify against its runs.
+		{5, wire.Frame{From: 11, Message: core.Message{Kind: core.MsgInfo,
+			Info: seqset.FromRange(1, 1<<40), Parent: 3}}},
+		{5, wire.Frame{From: 12, Message: core.Message{Kind: core.MsgInfoDelta,
+			Info: seqset.FromSlice([]seqset.Seq{2}), Seq: 0, CheckLen: ^uint64(0)}}},
 	}
 	for _, s := range seeds {
 		data, err := encodeEnvelope(s.stream, s.frame)

@@ -141,11 +141,12 @@ type server struct {
 }
 
 type hostPort struct {
-	id      HostID
-	server  ServerID
-	cfg     LinkConfig
-	up      bool
-	handler Handler
+	id       HostID
+	server   ServerID
+	cfg      LinkConfig
+	up       bool
+	handler  Handler
+	transmit TransmitHook
 }
 
 // Envelope is a host-to-host message in flight or as delivered.
@@ -166,6 +167,28 @@ type Envelope struct {
 
 // Handler receives messages delivered to a host.
 type Handler func(now time.Duration, env Envelope)
+
+// Outbound is one transmission produced by a TransmitHook: the (possibly
+// rewritten) payload, its destination, and whether the cost bit is
+// forced on regardless of the path taken. Forcing the bit off is not
+// offered — the network sets it on any expensive traversal, exactly as
+// the paper's model dictates — so a hostile host can claim a cheap path
+// was expensive but never the reverse.
+type Outbound struct {
+	To           HostID
+	Payload      any
+	ForceCostBit bool
+}
+
+// TransmitHook intercepts one host-level Send at the transmit seam,
+// before the message enters the network: it receives the intended
+// destination and payload and returns the transmissions that actually
+// happen — zero (silent drop), one (possibly rewritten), or several
+// (duplication, equivocation to extra destinations). The fault-injection
+// layer (internal/adversary) installs these to model hostile hosts
+// without touching protocol code; the host above the hook keeps running
+// the correct algorithm and never learns its traffic was rewritten.
+type TransmitHook func(to HostID, payload any) []Outbound
 
 // Stats aggregates network-level counters for a run.
 type Stats struct {
@@ -356,6 +379,18 @@ func (n *Network) Handle(h HostID, fn Handler) error {
 		return fmt.Errorf("netsim: unknown host %d", h)
 	}
 	hp.handler = fn
+	return nil
+}
+
+// SetTransmitHook installs (or, with nil, removes) the transmit-seam
+// interceptor for host h. Every subsequent Send from h is routed through
+// the hook; see TransmitHook for the contract.
+func (n *Network) SetTransmitHook(h HostID, hook TransmitHook) error {
+	hp, ok := n.hosts[h]
+	if !ok {
+		return fmt.Errorf("netsim: unknown host %d", h)
+	}
+	hp.transmit = hook
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -79,4 +81,125 @@ func TestParallelLinksPreferCheap(t *testing.T) {
 	if n.Stats().PerLink[expLink] != 2 {
 		t.Errorf("expensive link used %d times, want 2", n.Stats().PerLink[expLink])
 	}
+}
+
+// TestTransmitHookTraceIdentity pins the property the adversary layer
+// is built on: installing a transmit hook — even one that drops,
+// rewrites, or fans out traffic — costs nothing in determinism. The
+// same seed must yield a byte-identical delivery trace across runs for
+// every hook shape, because soak replay and shrinking depend on it.
+func TestTransmitHookTraceIdentity(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(n *Network) error
+	}{
+		{"no-hook", func(n *Network) error { return nil }},
+		{"silence", func(n *Network) error {
+			// Host 2 silently withholds everything addressed to host 4.
+			return n.SetTransmitHook(2, func(to HostID, payload any) []Outbound {
+				if to == 4 {
+					return nil
+				}
+				return []Outbound{{To: to, Payload: payload}}
+			})
+		}},
+		{"equivocate", func(n *Network) error {
+			// Host 2 tells every destination a different story.
+			return n.SetTransmitHook(2, func(to HostID, payload any) []Outbound {
+				return []Outbound{{To: to, Payload: fmt.Sprintf("forged-for-%d:%v", to, payload)}}
+			})
+		}},
+		{"forge-cost-fanout", func(n *Network) error {
+			// Host 5 duplicates each send to two fixed peers and lies
+			// about the path class on the copies.
+			return n.SetTransmitHook(5, func(to HostID, payload any) []Outbound {
+				return []Outbound{
+					{To: to, Payload: payload},
+					{To: 1, Payload: payload, ForceCostBit: true},
+					{To: 3, Payload: payload, ForceCostBit: true},
+				}
+			})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := runHookTrace(t, 7, tc.install)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := runHookTrace(t, 7, tc.install)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a == "" {
+				t.Fatal("empty delivery trace; the comparison is vacuous")
+			}
+			if a != b {
+				t.Fatalf("same seed, diverging traces:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+			}
+			other, err := runHookTrace(t, 8, tc.install)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a == other {
+				t.Fatal("different seeds produced identical traces; jitter/loss draws are not live")
+			}
+		})
+	}
+}
+
+// runHookTrace drives fixed traffic over a lossy, jittery three-server
+// topology with the given hook installed and returns the full delivery
+// trace plus closing network stats.
+func runHookTrace(t *testing.T, seed int64, install func(n *Network) error) (string, error) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	n := New(eng)
+	s := []ServerID{n.AddServer(), n.AddServer(), n.AddServer()}
+	lan := LinkConfig{Class: Cheap, Delay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond, LossProb: 0.05, DupProb: 0.02}
+	wan := LinkConfig{Class: Expensive, Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, LossProb: 0.10}
+	for _, pair := range [][2]ServerID{{s[0], s[1]}, {s[1], s[2]}, {s[0], s[2]}} {
+		cfg := lan
+		if pair[0] == s[0] && pair[1] == s[2] {
+			cfg = wan
+		}
+		if _, err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			return "", err
+		}
+	}
+	const hosts = 6
+	var trace strings.Builder
+	for h := HostID(1); h <= hosts; h++ {
+		if err := n.AttachHost(h, s[int(h-1)%len(s)], LinkConfig{Class: Cheap, Delay: time.Millisecond, Jitter: time.Millisecond}); err != nil {
+			return "", err
+		}
+		h := h
+		if err := n.Handle(h, func(at time.Duration, env Envelope) {
+			fmt.Fprintf(&trace, "%v %d->%d(%d) cost=%t %v\n", at, env.From, env.To, h, env.CostBit, env.Payload)
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := install(n); err != nil {
+		return "", err
+	}
+	for round := 0; round < 5; round++ {
+		for from := HostID(1); from <= hosts; from++ {
+			round, from := round, from
+			to := from%hosts + 1
+			eng.Schedule(time.Duration(round*3+int(from))*time.Millisecond, func() {
+				if err := n.Send(from, to, fmt.Sprintf("m%d-%d", from, round)); err != nil {
+					t.Errorf("Send(%d→%d): %v", from, to, err)
+				}
+			})
+		}
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		return "", err
+	}
+	st := n.Stats()
+	fmt.Fprintf(&trace, "stats sends=%d delivered=%d lost=%d dup=%d\n",
+		st.HostSends, st.Delivered, st.Lost, st.Duplicated)
+	return trace.String(), nil
 }

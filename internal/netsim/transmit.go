@@ -22,11 +22,35 @@ func (n *Network) Send(from, to HostID, payload any) error {
 	if from == to {
 		return fmt.Errorf("netsim: host %d sending to itself", from)
 	}
-	env := Envelope{From: from, To: to, Payload: payload, SentAt: n.eng.Now()}
+	if src.transmit != nil {
+		// The transmit seam: a hook (an adversary controller) decides what
+		// actually hits the wire. The correct-host code above this call
+		// observes a successful Send either way — exactly the visibility a
+		// hostile network interface would give it.
+		for _, out := range src.transmit(to, payload) {
+			if _, ok := n.hosts[out.To]; !ok || out.To == from {
+				// A hook emitting an unreachable or self destination is a
+				// behavior bug, not a network condition; drop silently like
+				// any other undeliverable traffic.
+				n.stats.DroppedNoRoute++
+				continue
+			}
+			n.transmitOne(src, out.To, out.Payload, out.ForceCostBit)
+		}
+		return nil
+	}
+	n.transmitOne(src, to, payload, false)
+	return nil
+}
+
+// transmitOne pushes one concrete transmission into the network: stats,
+// observer hooks, then the sender's access link toward its server.
+func (n *Network) transmitOne(src *hostPort, to HostID, payload any, forceCost bool) {
+	env := Envelope{From: src.id, To: to, CostBit: forceCost, Payload: payload, SentAt: n.eng.Now()}
 	n.stats.HostSends++
 	inter := false
 	clusters := n.TrueClusters()
-	if clusters[from] != clusters[to] {
+	if clusters[src.id] != clusters[to] {
 		inter = true
 		n.stats.InterClusterSends++
 	}
@@ -37,7 +61,6 @@ func (n *Network) Send(from, to HostID, payload any) error {
 	n.traverseHostLink(src, env, func(env Envelope) {
 		n.arriveAtServer(src.server, env)
 	})
-	return nil
 }
 
 // traverseHostLink models one traversal of a host access link (in either

@@ -1,0 +1,237 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// maskableBehaviors is the vocabulary the generator may hand a
+// non-source adversary: lies the protocol's benign-failure machinery is
+// expected to absorb. Equivocation and INFO lies are reserved for the
+// trap arm.
+var maskableBehaviors = map[string]bool{
+	"forge-cost-bit": true, "replay": true, "silence": true, "hostile-wire": true,
+}
+
+// TestByzantineSpecShape pins the generator's two arms: trap seeds put
+// a lone equivocator at the source with inverted pass semantics, and
+// maskable seeds keep hostile behavior away from the source and the
+// guarantees intact.
+func TestByzantineSpecShape(t *testing.T) {
+	traps, maskable, echo := 0, 0, 0
+	for seed := int64(1); seed <= 30; seed++ {
+		sp := NewSpec(ClassByzantine, seed)
+		if len(sp.Adversaries) == 0 {
+			t.Fatalf("seed %d: byzantine spec has no adversaries", seed)
+		}
+		if err := sp.params().Validate(); err != nil {
+			t.Errorf("seed %d: generated params invalid: %v", seed, err)
+		}
+		if sp.ExpectViolation {
+			traps++
+			if sp.EchoReady {
+				t.Errorf("seed %d: trap arm must run the plain protocol", seed)
+			}
+			if len(sp.Adversaries) != 1 || sp.Adversaries[0].HostIndex%sp.Hosts() != 0 {
+				t.Errorf("seed %d: trap adversary is not the source: %+v", seed, sp.Adversaries)
+			}
+			if len(sp.Adversaries[0].Behaviors) != 1 || sp.Adversaries[0].Behaviors[0] != "equivocate" {
+				t.Errorf("seed %d: trap behaviors = %v, want [equivocate]", seed, sp.Adversaries[0].Behaviors)
+			}
+			continue
+		}
+		maskable++
+		if sp.EchoReady {
+			echo++
+		}
+		for _, a := range sp.Adversaries {
+			if a.HostIndex%sp.Hosts() == 0 {
+				t.Errorf("seed %d: maskable adversary at the source: %+v", seed, a)
+			}
+			for _, b := range a.Behaviors {
+				if !maskableBehaviors[b] {
+					t.Errorf("seed %d: behavior %q is not maskable", seed, b)
+				}
+			}
+			for _, tgt := range a.Targets {
+				if tgt%sp.Hosts() == 0 {
+					t.Errorf("seed %d: silence targets the source: %+v", seed, a)
+				}
+			}
+		}
+	}
+	if traps == 0 || maskable == 0 || echo == 0 {
+		t.Fatalf("generator arms unbalanced: %d traps, %d maskable, %d echo across 30 seeds",
+			traps, maskable, echo)
+	}
+}
+
+// TestByzantinePartitionSpecShape: the combined class always pairs
+// maskable adversaries with a healed partition.
+func TestByzantinePartitionSpecShape(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sp := NewSpec(ClassByzantinePartition, seed)
+		if sp.ExpectViolation {
+			t.Errorf("seed %d: byzantine-partition generated a trap", seed)
+		}
+		if !sp.FinalConnected {
+			t.Errorf("seed %d: spec claims disconnected final state", seed)
+		}
+		if len(sp.Adversaries) == 0 {
+			t.Errorf("seed %d: no adversaries", seed)
+		}
+		var isolated, healed bool
+		for _, st := range sp.Steps {
+			isolated = isolated || st.Kind == StepIsolateCluster
+			healed = healed || st.Kind == StepHealCluster
+		}
+		if !isolated || !healed {
+			t.Errorf("seed %d: steps %v lack an isolate/heal pair", seed, sp.Steps)
+		}
+	}
+}
+
+// TestByzantineSoak is the class's convergence claim: every seed must
+// pass — maskable seeds because the correct hosts still deliver
+// everything despite f ≥ 1 live adversaries, trap seeds because the
+// invariant checker caught the planted violation.
+func TestByzantineSoak(t *testing.T) {
+	sum, err := Run(Config{Class: ClassByzantine, SeedStart: 1, Seeds: 20})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range sum.Failures() {
+		t.Errorf("seed %d failed: %v\n  replay: %s",
+			f.Seed, f.Violations, ReplayCommand(ClassByzantine, f.Seed))
+	}
+	var converged, caught int
+	for _, r := range sum.Reports {
+		if len(r.AdversaryHosts) == 0 {
+			t.Errorf("seed %d: no adversary hosts recorded", r.Seed)
+		}
+		if r.Spec.ExpectViolation {
+			if len(r.Detected) == 0 {
+				t.Errorf("seed %d: trap seed detected nothing", r.Seed)
+			}
+			if hasInvariant(r.Detected, "byz-forged-frame") {
+				caught++
+			}
+			continue
+		}
+		// Maskable seed: correct hosts converged with the adversary live.
+		if r.Delivered < r.Expected {
+			t.Errorf("seed %d: correct hosts incomplete %d/%d", r.Seed, r.Delivered, r.Expected)
+		}
+		converged++
+	}
+	if converged == 0 {
+		t.Error("no maskable seed demonstrated convergence despite adversaries")
+	}
+	if caught == 0 {
+		t.Error("no trap seed was caught via byz-forged-frame")
+	}
+}
+
+// TestByzantinePartitionSoak: hostile hosts plus a healed partition at
+// once, and correct hosts still converge.
+func TestByzantinePartitionSoak(t *testing.T) {
+	sum, err := Run(Config{Class: ClassByzantinePartition, SeedStart: 1, Seeds: 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range sum.Failures() {
+		t.Errorf("seed %d failed: %v\n  replay: %s",
+			f.Seed, f.Violations, ReplayCommand(ClassByzantinePartition, f.Seed))
+	}
+}
+
+// TestByzantineTrapCaught proves the Byzantine monitor reports rather
+// than swallows: an equivocating source forges every delivered payload,
+// so (1) the trap seed passes only via detection, (2) the same spec
+// with plain semantics fails on byz-forged-frame, (3) the shrinker
+// reproduces that invariant on a reduced spec, and (4) the replay path
+// is byte-identical.
+func TestByzantineTrapCaught(t *testing.T) {
+	// The first trap seed is a deterministic property of the generator.
+	trapSeed := int64(-1)
+	for seed := int64(0); seed <= 40; seed++ {
+		if NewSpec(ClassByzantine, seed).ExpectViolation {
+			trapSeed = seed
+			break
+		}
+	}
+	if trapSeed < 0 {
+		t.Fatal("no trap seed in 0..40")
+	}
+
+	rep := RunSeed(ClassByzantine, trapSeed)
+	if !rep.Pass {
+		t.Fatalf("trap seed %d failed outright: %v", trapSeed, rep.Violations)
+	}
+	if !hasInvariant(rep.Detected, "byz-forged-frame") {
+		t.Fatalf("trap seed %d detected %v; want byz-forged-frame", trapSeed, rep.Detected)
+	}
+
+	// The inverse: running the same adversary without inverted semantics
+	// must surface the violation as a plain failure — the monitor is
+	// reporting the forgery, not the ExpectViolation flag masking it.
+	plain := NewSpec(ClassByzantine, trapSeed)
+	plain.ExpectViolation = false
+	prep := RunSpec(plain)
+	if prep.Pass {
+		t.Fatal("equivocating source passed plain invariant checking")
+	}
+	if !hasInvariant(prep.Violations, "byz-forged-frame") {
+		t.Fatalf("plain violations %v lack byz-forged-frame", prep.Violations)
+	}
+
+	sh := Shrink(plain, 48)
+	if !hasInvariant(sh.Violations, "byz-forged-frame") {
+		t.Fatalf("shrunk violations %v lack byz-forged-frame", sh.Violations)
+	}
+	if !sh.Reduced {
+		t.Fatalf("shrinker failed to reduce the spec (attempts=%d)", sh.Attempts)
+	}
+	if len(sh.Spec.Adversaries) == 0 {
+		t.Fatal("shrinker dropped the adversary yet still fails byz-forged-frame")
+	}
+	if rerun := RunSpec(sh.Spec); rerun.Pass {
+		t.Fatal("shrunk spec passes on rerun")
+	}
+
+	cmd := ReplayCommand(ClassByzantine, trapSeed)
+	if !strings.Contains(cmd, "-class byzantine") {
+		t.Errorf("replay command %q lacks the class", cmd)
+	}
+	again := RunSeed(ClassByzantine, trapSeed)
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestByzantineDeterministicAcrossWorkers extends the sharding
+// guarantee to adversarial runs: per-host RNG streams derive from
+// (seed, host) alone, so reports stay byte-identical at any worker
+// count — traps, maskables, and echo seeds alike.
+func TestByzantineDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		sum, err := Run(Config{Class: ClassByzantine, SeedStart: 1, Seeds: 12, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		data, err := json.Marshal(sum.Reports)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	one := marshal(1)
+	four := marshal(4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("byzantine reports differ between 1 and 4 workers:\n1: %s\n4: %s", one, four)
+	}
+}

@@ -75,6 +75,18 @@ type SeedReport struct {
 	// 0 when the spec has no heal step or the run never completed.
 	PostHealMS int64 `json:"post_heal_ms,omitempty"`
 
+	// Byzantine-class fields (set only when the spec has adversaries).
+	// AdversaryHosts lists the hostile host IDs, ascending.
+	AdversaryHosts []int `json:"adversary_hosts,omitempty"`
+	// Equivocations counts equivocation conflicts detected by hosts
+	// (nonzero only in echo/ready mode).
+	Equivocations uint64 `json:"equivocations,omitempty"`
+	// ForeignDeliveries counts deliveries of fabricated sequence numbers.
+	ForeignDeliveries int `json:"foreign_deliveries,omitempty"`
+	// Detected lists the violations an ExpectViolation seed was required
+	// to produce; such a seed passes precisely because they were caught.
+	Detected []string `json:"detected,omitempty"`
+
 	Spec Spec `json:"spec"`
 }
 
@@ -204,7 +216,10 @@ func RunSpec(sp Spec) SeedReport {
 	settle := time.Duration(sp.SettleMS) * time.Millisecond
 	opts := harness.InvariantOptions{
 		RequireDelivery: true,
-		RequireTree:     sp.FinalConnected,
+		// Forged cost bits and selective silence legitimately distort the
+		// hosts' cluster view, so the structural tree invariants apply only
+		// to adversary-free schedules.
+		RequireTree: sp.FinalConnected && len(sp.Adversaries) == 0,
 	}
 	// Settling happens in small steps with an invariant check at each one,
 	// stopping at the first clean sample. Checking only once after a long
@@ -236,7 +251,9 @@ func RunSpec(sp Spec) SeedReport {
 	// partition, a duplicate delivery) survive every probe. The probe
 	// count depends only on deterministic simulation state, so per-seed
 	// results stay worker-count independent.
-	for attempt := 0; attempt < 3 && len(violations) > 0; attempt++ {
+	// ExpectViolation runs skip the probes: the violation is supposed to
+	// persist, and probing for a cure that cannot come only burns events.
+	for attempt := 0; attempt < 3 && len(violations) > 0 && !sp.ExpectViolation; attempt++ {
 		if err := rt.BroadcastNow([]byte("soak-probe")); err != nil {
 			return fail("error: probing: %v", err)
 		}
@@ -245,8 +262,21 @@ func RunSpec(sp Spec) SeedReport {
 		}
 	}
 	res = rt.Finalize()
-	for _, v := range violations {
-		rep.Violations = append(rep.Violations, v.String())
+	if sp.ExpectViolation {
+		// Inverted semantics: the adversary budget exceeds what the
+		// protocol can mask, so this seed passes only if the invariant
+		// checker caught a violation — a silent monitor is the failure.
+		if len(violations) == 0 {
+			rep.Violations = append(rep.Violations,
+				"byz-trap: adversary violation went undetected")
+		}
+		for _, v := range violations {
+			rep.Detected = append(rep.Detected, v.String())
+		}
+	} else {
+		for _, v := range violations {
+			rep.Violations = append(rep.Violations, v.String())
+		}
 	}
 	rep.Pass = len(rep.Violations) == 0
 	rep.Delivered = res.DeliveredCount
@@ -261,6 +291,13 @@ func RunSpec(sp Spec) SeedReport {
 	rep.UnreachableSends = res.UnreachableSends
 	rep.ResyncBursts = res.ResyncBursts
 	rep.SuppressedSends = res.SuppressedSends
+	if len(sp.Adversaries) > 0 {
+		for _, h := range res.AdversaryHosts {
+			rep.AdversaryHosts = append(rep.AdversaryHosts, int(h))
+		}
+		rep.Equivocations = res.EquivocationsDetected
+		rep.ForeignDeliveries = res.ForeignDeliveries
+	}
 	if rep.CompleteAtMS > 0 {
 		var lastHeal int64
 		for _, st := range sp.Steps {

@@ -57,6 +57,18 @@ func shrinkCandidates(sp Spec) []Spec {
 			with(func(c *Spec) { c.Steps = append(c.Steps[:i], c.Steps[i+1:]...) })
 		}
 	}
+	if n := len(sp.Adversaries); n > 0 {
+		// Drop adversaries one at a time. The sameFailure guard keeps this
+		// honest: an ExpectViolation spec without its adversary fails with
+		// the unrelated "byz-trap" name and is rejected.
+		for i := 0; i < n; i++ {
+			i := i
+			with(func(c *Spec) {
+				c.Adversaries = append(append([]AdversarySpec(nil),
+					sp.Adversaries[:i]...), sp.Adversaries[i+1:]...)
+			})
+		}
+	}
 	if sp.ExtraCheapLinks > 0 {
 		with(func(c *Spec) { c.ExtraCheapLinks = 0 })
 	}

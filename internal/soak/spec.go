@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"rbcast/internal/adversary"
 	"rbcast/internal/core"
 	"rbcast/internal/detrand"
 	"rbcast/internal/harness"
@@ -48,11 +49,25 @@ const (
 	// partition of a non-source cluster with backoff enabled, measuring
 	// probes wasted into the partition and post-heal convergence latency.
 	ClassRecovery Class = "recovery"
+	// ClassByzantine places adversary-controlled hosts in the run. Most
+	// seeds draw maskable behaviors (forged cost bits, stale replays,
+	// selective silence, hostile junk frames) on non-source hosts —
+	// lies the protocol's benign-failure machinery must absorb, so the
+	// correct hosts still converge. The remaining seeds are traps: the
+	// source itself equivocates, every delivered payload is forged, and
+	// the seed passes only if the Byzantine invariants report it
+	// (ExpectViolation semantics, the partition-trap pattern).
+	ClassByzantine Class = "byzantine"
+	// ClassByzantinePartition combines maskable adversaries with a
+	// healed cluster partition: hostile hosts plus benign failures at
+	// once, with correct-host delivery still required.
+	ClassByzantinePartition Class = "byzantine-partition"
 )
 
 // Classes lists every scenario class.
 func Classes() []Class {
-	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap, ClassRecovery}
+	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap,
+		ClassRecovery, ClassByzantine, ClassByzantinePartition}
 }
 
 // ParseClass resolves a class name.
@@ -155,9 +170,40 @@ type Spec struct {
 
 	Steps []Step `json:"steps,omitempty"`
 
+	// Adversaries places Byzantine behavior stacks on hosts (see
+	// internal/adversary). Indices are positions in the host list, taken
+	// modulo Hosts() so shrunk specs stay runnable; position 0 is the
+	// source.
+	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+	// EchoReady enables the Bracha-flavoured hardening mode
+	// (core.Params.EchoReady); EchoMaxFaulty is its assumed fault budget
+	// (0 = ⌊(n−1)/3⌋).
+	EchoReady     bool `json:"echo_ready,omitempty"`
+	EchoMaxFaulty int  `json:"echo_max_faulty,omitempty"`
+	// ExpectViolation inverts pass semantics: the adversary budget
+	// exceeds what the protocol can mask, so the seed passes only if the
+	// invariant checker reports a violation (recorded in
+	// SeedReport.Detected). A silent monitor is the failure.
+	ExpectViolation bool `json:"expect_violation,omitempty"`
+
 	// FinalConnected reports whether the schedule leaves the network
 	// whole, which is when the spanning/cluster-tree invariants apply.
 	FinalConnected bool `json:"final_connected"`
+}
+
+// AdversarySpec is the JSON-friendly description of one Byzantine host.
+type AdversarySpec struct {
+	// HostIndex is the victim's position in the host list, modulo
+	// Hosts(); position 0 is the source.
+	HostIndex int `json:"host_index"`
+	// Behaviors names the behavior stack, applied in order
+	// (adversary.Names lists the vocabulary).
+	Behaviors []string `json:"behaviors"`
+	// Targets optionally scopes targeted behaviors (silence, equivocate)
+	// to specific host positions, modulo Hosts().
+	Targets []int `json:"targets,omitempty"`
+	// Claim parameterizes lie-info (0 = the behavior's default).
+	Claim uint64 `json:"claim,omitempty"`
 }
 
 // Hosts returns the total participant count.
@@ -197,7 +243,8 @@ func NewSpec(class Class, seed int64) Spec {
 		Class: string(class),
 		Seed:  seed,
 	}
-	needsPartition := class == ClassPartition || class == ClassPartitionTrap || class == ClassRecovery
+	needsPartition := class == ClassPartition || class == ClassPartitionTrap || class == ClassRecovery ||
+		class == ClassByzantine || class == ClassByzantinePartition
 	if needsPartition {
 		sp.Clusters = 2 + rng.Intn(3) // 2..4: something to partition
 	} else {
@@ -285,7 +332,86 @@ func NewSpec(class Class, seed int64) Spec {
 		sp.BackoffMultiplier = 1.5 + rng.Float64()               // 1.5..2.5
 		sp.SuspicionAfter = 1 + rng.Intn(3)                      // 1..3
 	}
+	if class == ClassByzantine {
+		if rng.Intn(10) < 3 {
+			// Trap arm: the SOURCE equivocates to every destination, so
+			// every payload a correct host delivers is forged and the
+			// byz-forged-frame invariant must fire on every seed — the
+			// partition-trap analogue proving the monitor reports what the
+			// protocol cannot mask.
+			sp.Adversaries = []AdversarySpec{{HostIndex: 0, Behaviors: []string{"equivocate"}}}
+			sp.ExpectViolation = true
+		} else {
+			sp.Adversaries = maskableAdversaries(rng, sp.Hosts())
+			if sp.Hosts() >= 4 && rng.Intn(3) == 0 {
+				// Some maskable seeds also run the hardening mode, proving
+				// the quorum machinery stays live under hostile traffic.
+				sp.EchoReady = true
+			}
+		}
+	}
+	if class == ClassByzantinePartition {
+		sp.Adversaries = maskableAdversaries(rng, sp.Hosts())
+		c := 1 + rng.Intn(sp.Clusters-1)
+		at := randMS(rng, 2_000, 8_000)
+		sp.Steps = append(sp.Steps,
+			Step{AtMS: at, Kind: StepIsolateCluster, Index: c},
+			Step{AtMS: at + randMS(rng, 2_000, 8_000), Kind: StepHealCluster, Index: c})
+	}
 	return sp
+}
+
+// maskableAdversaries draws one or two non-source adversaries running
+// behaviors the protocol's benign-failure machinery should absorb:
+// forged cost bits, stale replays, selective silence toward a couple of
+// peers, hostile junk frames. Equivocation and INFO lies are excluded —
+// those violate guarantees and belong to the trap arm.
+func maskableAdversaries(rng *detrand.Rand, hosts int) []AdversarySpec {
+	kinds := []string{"forge-cost-bit", "replay", "silence", "hostile-wire"}
+	n := 1
+	if hosts > 4 && rng.Intn(2) == 0 {
+		n = 2
+	}
+	used := map[int]bool{}
+	var out []AdversarySpec
+	for i := 0; i < n; i++ {
+		idx := 1 + rng.Intn(hosts-1) // never the source
+		for used[idx] {
+			idx = 1 + rng.Intn(hosts-1)
+		}
+		used[idx] = true
+		a := AdversarySpec{HostIndex: idx}
+		for j, nb := 0, 1+rng.Intn(2); j < nb; j++ {
+			k := kinds[rng.Intn(len(kinds))]
+			if hasString(a.Behaviors, k) {
+				continue
+			}
+			if k == "silence" {
+				// Selective silence toward one or two NON-SOURCE peers. The
+				// source stays reachable on purpose: an adversary holding the
+				// top static order can only re-attach upward to the source
+				// once starved, so silencing that edge wedges it unattached
+				// forever and permanently starves every correct host chained
+				// below it — an asymmetric partition outside the paper's
+				// benign model, i.e. not maskable.
+				for t, nt := 0, 1+rng.Intn(2); t < nt; t++ {
+					a.Targets = append(a.Targets, 1+rng.Intn(hosts-1))
+				}
+			}
+			a.Behaviors = append(a.Behaviors, k)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func hasString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // params derives the protocol tuning from the spec: the reference
@@ -317,6 +443,8 @@ func (sp Spec) params() core.Params {
 		p.BackoffMultiplier = sp.BackoffMultiplier
 		p.SuspicionAfter = sp.SuspicionAfter
 	}
+	p.EchoReady = sp.EchoReady
+	p.EchoMaxFaulty = sp.EchoMaxFaulty
 	return p
 }
 
@@ -388,6 +516,26 @@ func (sp Spec) Scenario() (harness.Scenario, error) {
 			At: time.Duration(st.AtMS) * time.Millisecond,
 			Do: func(rt *harness.Runtime) error { return applyStep(rt, st) },
 		})
+	}
+	if len(sp.Adversaries) > 0 {
+		adv := make(map[core.HostID][]adversary.Behavior, len(sp.Adversaries))
+		for _, a := range sp.Adversaries {
+			// Host IDs are 1..Hosts(); indices wrap so shrunk specs stay
+			// runnable.
+			id := core.HostID(a.HostIndex%sp.Hosts() + 1)
+			var targets []core.HostID
+			for _, t := range a.Targets {
+				targets = append(targets, core.HostID(t%sp.Hosts()+1))
+			}
+			for _, name := range a.Behaviors {
+				b, err := adversary.New(name, targets, a.Claim)
+				if err != nil {
+					return harness.Scenario{}, err
+				}
+				adv[id] = append(adv[id], b)
+			}
+		}
+		sc.Adversaries = adv
 	}
 	return sc, nil
 }

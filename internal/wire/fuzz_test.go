@@ -29,6 +29,18 @@ func FuzzDecode(f *testing.F) {
 		{From: 9, Message: core.Message{Kind: core.MsgInfoDelta,
 			Info: seqset.FromSlice([]seqset.Seq{8, 9, 11}), Parent: 3,
 			Seq: 11, CheckLen: 10}},
+		{From: 10, Message: core.Message{Kind: core.MsgEcho, Seq: 5, CheckLen: 0xfeedface}},
+		{From: 11, Message: core.Message{Kind: core.MsgReady, Seq: 5, CheckLen: 0xfeedface}},
+		// Adversarial shapes from the Byzantine fault-injection layer
+		// (internal/adversary): an oversized single-run INFO claim, a
+		// delta whose checksum can never verify, and an absurd-digest
+		// ready vote for a sequence number no source would assign.
+		{From: 12, Message: core.Message{Kind: core.MsgInfo,
+			Info: seqset.FromRange(1, 1<<40), Parent: 2}},
+		{From: 13, Message: core.Message{Kind: core.MsgInfoDelta,
+			Seq: 0, CheckLen: ^uint64(0)}},
+		{From: 14, Message: core.Message{Kind: core.MsgReady,
+			Seq: 1 << 60, CheckLen: ^uint64(0)}},
 	}
 	for _, fr := range seedFrames {
 		data, err := wire.Encode(fr)

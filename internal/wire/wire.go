@@ -24,10 +24,13 @@
 //	uint32  part count, then per part: uint32 length + encoded sub-frame
 //
 // Sub-frames are complete frames of non-bundle kinds (bundles never
-// nest). Delta INFO frames (kind = MsgInfoDelta) additionally carry:
+// nest). Delta INFO frames (kind = MsgInfoDelta) and echo/ready votes
+// (kinds MsgEcho, MsgReady) additionally carry:
 //
-//	uint64  full-set member count (the CheckLen checksum half; the
-//	        sequence-number header slot holds the full-set maximum)
+//	uint64  CheckLen: for a delta, the full-set member count (the
+//	        checksum half; the sequence-number header slot holds the
+//	        full-set maximum); for echo/ready, the payload digest
+//	        being voted on
 //
 // The hot path is AppendEncode, which appends into a caller-owned buffer
 // and allocates nothing; Encode is a convenience wrapper, and
@@ -83,10 +86,18 @@ type Frame struct {
 func knownKind(k core.MsgKind) bool {
 	switch k {
 	case core.MsgData, core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
-		core.MsgAttachReject, core.MsgDetach, core.MsgBundle, core.MsgInfoDelta:
+		core.MsgAttachReject, core.MsgDetach, core.MsgBundle, core.MsgInfoDelta,
+		core.MsgEcho, core.MsgReady:
 		return true
 	}
 	return false
+}
+
+// kindHasCheck reports whether the frame carries the trailing uint64
+// CheckLen field: the full-set checksum half of a delta INFO, or the
+// payload digest of an echo/ready vote.
+func kindHasCheck(k core.MsgKind) bool {
+	return k == core.MsgInfoDelta || k == core.MsgEcho || k == core.MsgReady
 }
 
 // checkEncodable validates the frame fields shared by AppendEncode and
@@ -118,7 +129,7 @@ func EncodedSize(f Frame) (int, error) {
 		return 0, err
 	}
 	size := headerLen + 4 + len(f.Message.Payload) + 4 + 16*f.Message.Info.RunCount()
-	if f.Message.Kind == core.MsgInfoDelta {
+	if kindHasCheck(f.Message.Kind) {
 		size += 8
 	}
 	if f.Message.Kind == core.MsgBundle {
@@ -171,7 +182,7 @@ func appendFrame(buf []byte, f Frame) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Lo))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Hi))
 	}
-	if f.Message.Kind == core.MsgInfoDelta {
+	if kindHasCheck(f.Message.Kind) {
 		buf = binary.BigEndian.AppendUint64(buf, f.Message.CheckLen)
 	}
 	if f.Message.Kind == core.MsgBundle {
@@ -260,7 +271,7 @@ func Decode(data []byte) (Frame, error) {
 	}
 	f.Message.Info = info
 
-	if kind == core.MsgInfoDelta {
+	if kindHasCheck(kind) {
 		if len(rest) < 8 {
 			return f, ErrTruncated
 		}
