@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race check soak soak-byzantine fuzz fuzz-smoke bench-json bench-smoke clean
+.PHONY: all build vet lint lint-sarif test race check soak soak-byzantine soak-catchup fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -51,6 +51,16 @@ soak: build
 soak-byzantine: build
 	$(GO) run ./cmd/rbsoak -class byzantine -count 200
 	$(GO) run ./cmd/rbsoak -class byzantine-partition -count 200
+
+# soak-catchup sweeps the late-joiner class: a host misses a long,
+# partly-pruned history and must converge via snapshot transfer plus
+# range sync, under randomized mid-sync partitions, sync-source crashes,
+# and joiner kill/restarts. Every seed asserts the O(missing) sync-round
+# budget. The sweep starts at seed 1 and so always includes the trap
+# seeds (3 partitions mid-sync; 24 stacks all three arms), which force
+# the timeout/resume/failover paths on every run.
+soak-catchup: build
+	$(GO) run ./cmd/rbsoak -class late-joiner -count 200
 
 # bench-json records the perf-tracking suite (internal/bench) as a
 # BENCH_<date>.json snapshot via cmd/rbbench; schema in README

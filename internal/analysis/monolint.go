@@ -46,6 +46,11 @@ var monoProtectedFields = map[string]bool{
 // and marking emitters that add what was just produced, and the §6
 // prune path. MapOf is included for its benign copy-on-write write-back:
 // it re-stores the value it just read with only the COW mark changed.
+// The catch-up sync additions are monotone too: handleSyncReq records an
+// optimistic MAP mark for data just served, acceptSyncData adds one
+// solicited sequence number to INFO, and installSnapshot adds the
+// checkpoint-covered prefix [1, mark] to INFO (never touching prunedTo,
+// which still advances only through pruneStable's guarded path).
 var monoApprovedMutators = map[string]bool{
 	"Broadcast":       true,
 	"handleData":      true,
@@ -56,6 +61,9 @@ var monoApprovedMutators = map[string]bool{
 	"pruneStable":     true,
 	"MapOf":           true,
 	"acceptCertified": true,
+	"handleSyncReq":   true,
+	"acceptSyncData":  true,
+	"installSnapshot": true,
 }
 
 // monoMutatingSetMethods are the seqset.Set methods that change

@@ -98,3 +98,32 @@ func (n *notHost) write() {
 	n.info = Set{}
 	n.info.Add(1)
 }
+
+// The catch-up sync mutators joined the approved set (regression pin:
+// these must stay legal). handleSyncReq records optimistic MAP marks
+// for data just served; acceptSyncData adds a solicited sequence
+// number; installSnapshot marks a checkpoint-covered prefix in INFO —
+// and none of them may touch prunedTo.
+func (h *Host) handleSyncReq(j int, q uint64) {
+	s := h.maps[j]
+	s.Add(q)
+	h.maps[j] = s
+}
+
+func (h *Host) acceptSyncData(q uint64) {
+	h.info.Add(q)
+}
+
+func (h *Host) installSnapshot(mark uint64) {
+	h.info.Add(mark)
+}
+
+// handleSnapChunk is deliberately NOT approved: the chunk path only
+// buffers bytes; an INFO write from it would bypass the install guard.
+func (h *Host) handleSnapChunk(q uint64) {
+	h.info.Add(q) // want `Host.info mutated outside the approved mutator set`
+}
+
+func (h *Host) rogueSyncFloor(mark uint64) {
+	h.prunedTo = mark // want `Host.prunedTo written outside the approved mutator set`
+}

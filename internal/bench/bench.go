@@ -264,6 +264,14 @@ func kindFrames() []wire.Frame {
 			Seq: 90, CheckLen: uint64(info.Len()), Parent: 2}},
 		{From: 3, Message: core.Message{Kind: core.MsgEcho, Seq: 91, CheckLen: 0x9e3779b97f4a7c15}},
 		{From: 3, Message: core.Message{Kind: core.MsgReady, Seq: 91, CheckLen: 0x9e3779b97f4a7c15}},
+		{From: 3, Message: core.Message{Kind: core.MsgSyncReq, Seq: 65, Info: seqset.FromRange(65, 90)}},
+		{From: 2, Message: core.Message{Kind: core.MsgSyncResp, Seq: 65, Parts: []core.Message{
+			{Kind: core.MsgData, Seq: 65, Payload: make([]byte, 32), GapFill: true},
+			{Kind: core.MsgData, Seq: 66, Payload: make([]byte, 32), GapFill: true},
+		}, Info: seqset.FromRange(67, 70), CheckLen: 64}},
+		{From: 3, Message: core.Message{Kind: core.MsgSnapReq, Seq: 4096, CheckLen: 64}},
+		{From: 2, Message: core.Message{Kind: core.MsgSnapChunk, Seq: 4096,
+			Payload: make([]byte, 256), CheckLen: 8192, Info: seqset.FromRange(1, 64)}},
 	}
 }
 

@@ -43,6 +43,9 @@ func (h *Host) runAttachment(now time.Duration, fresh bool) {
 		cand = h.pickCaseIII(now)
 	}
 	if cand == Nil {
+		if fresh && h.parent == Nil {
+			h.attach.barren++
+		}
 		// A timeout/reject retry chain that has run out of candidates has
 		// excluded every option; re-sweeping each AttachPeriod buys
 		// nothing until new evidence (any inbound message) arrives.
@@ -51,6 +54,7 @@ func (h *Host) runAttachment(now time.Duration, fresh bool) {
 		}
 		return
 	}
+	h.attach.barren = 0
 	h.attach.inProgress = true
 	h.attach.candidate = cand
 	h.attach.deadline = now + h.params.AttachTimeout
@@ -118,7 +122,50 @@ func (h *Host) pickCaseI(now time.Duration) HostID {
 		return j
 	}
 	// Option 3: a host in a different cluster with a greater INFO set.
-	return h.optOtherClusterGreaterThan(now, h.info)
+	if j := h.optOtherClusterGreaterThan(now, h.info); j != Nil {
+		return j
+	}
+	// Option 4 (beyond §4.2): a host in a different cluster with a
+	// similar INFO set and a greater static order, or the source itself.
+	// §4.2's option 3 assumes a detached host's INFO has fallen behind
+	// some other cluster's, so a strictly greater parent exists; the
+	// catch-up sync layer breaks that assumption — a healed host can
+	// reach the global watermark before its first attachment sweep and
+	// then find no strictly greater candidate anywhere, wedging detached
+	// forever (its cluster peers may all be its own descendants, ruling
+	// options 1 and 2 out too). Order-increasing similar attachment is
+	// option 2's rule applied across clusters, so the acyclicity
+	// argument is untouched: a cycle of similar-INFO edges would need
+	// strictly increasing static order around the loop, and an edge to
+	// the source terminates (the source never attaches to anyone).
+	//
+	// The escape is a last resort: it engages only after repeated barren
+	// periodic sweeps, and only once this host holds data. Both gates
+	// target the same hazard — at startup every INFO set is empty and
+	// hence trivially similar, and an eager escape would reshape the
+	// young tree into order-chasing cross-cluster chains instead of
+	// letting the paper's options converge it.
+	if h.attach.barren < escapeBarrenSweeps || h.info.Empty() {
+		return Nil
+	}
+	return h.optOtherClusterSimilarEscape(now)
+}
+
+// escapeBarrenSweeps is how many consecutive candidate-less periodic
+// sweeps a detached host tolerates before Case I's option 4 engages.
+const escapeBarrenSweeps = 2
+
+func (h *Host) optOtherClusterSimilarEscape(now time.Duration) HostID {
+	var cands []HostID
+	for _, j := range h.peers {
+		if h.cluster[j] || !h.eligible(now, j) {
+			continue
+		}
+		if seqset.Similar(h.info, h.maps[j]) && (j == h.source || h.order[h.id] < h.order[j]) {
+			cands = append(cands, j)
+		}
+	}
+	return h.best(cands)
 }
 
 // pickCaseII implements Case II (parent in a different cluster — the

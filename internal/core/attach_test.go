@@ -411,3 +411,51 @@ func TestSourceNeverRunsAttachment(t *testing.T) {
 		t.Errorf("source parent = %d, want Nil", src.Parent())
 	}
 }
+
+func TestCaseIOption4SimilarEscapeAfterBarrenSweeps(t *testing.T) {
+	env := &fakeEnv{}
+	h := newTestHost(t, 2, quietParams(), env)
+	// Catch host 2 up to the watermark through a normal in-cluster
+	// parent, then lose that parent to a timeout.
+	infoFrom(h, 0, 3, false, 4, core.Nil)
+	reqs := fireAttach(h, env, 2*time.Hour)
+	if len(reqs) != 1 || reqs[0].to != 3 {
+		t.Fatalf("setup attach = %v, want to 3", reqs)
+	}
+	base := 2 * time.Hour
+	h.HandleMessage(base, 3, false, core.Message{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 4)})
+	for q := seqset.Seq(1); q <= 4; q++ {
+		h.HandleMessage(base, 3, false, core.Message{Kind: core.MsgData, Seq: q, Payload: []byte{byte(q)}})
+	}
+	h.Start(base)
+	// Gossip paints the wedge §4.2 cannot resolve: in-cluster peer 3 is
+	// our own descendant (never a leader under options 1-2), and
+	// cross-cluster host 4 sits at the same watermark, so nobody is
+	// strictly greater for option 3.
+	infoFrom(h, base, 3, false, 4, 2)
+	infoFrom(h, base, 4, true, 4, core.Nil)
+	env.reset()
+	// The parent times out; the host is detached at the global watermark.
+	// The escape must not fire on the detaching tick itself — options 1-3
+	// come up empty and the barren gate holds option 4 back.
+	h.Tick(base + 3*time.Hour)
+	if h.Parent() != core.Nil {
+		t.Fatalf("parent = %d after timeout, want Nil", h.Parent())
+	}
+	if got := env.ofKind(core.MsgAttachReq); len(got) != 0 {
+		t.Fatalf("escape engaged on the detaching tick: %v", got)
+	}
+	// After escapeBarrenSweeps candidate-less sweeps, the similar-INFO
+	// cross-cluster escape fires toward the higher-ordered host 4.
+	var got []sentMsg
+	for i := time.Duration(4); i <= 6 && len(got) == 0; i++ {
+		got = fireAttach(h, env, base+i*time.Hour)
+	}
+	if len(got) != 1 || got[0].to != 4 {
+		t.Fatalf("escape attach = %v, want one to host 4", got)
+	}
+	h.HandleMessage(base+7*time.Hour, 4, true, core.Message{Kind: core.MsgAttachAccept, Info: seqset.FromRange(1, 4)})
+	if h.Parent() != 4 {
+		t.Errorf("parent = %d after escape handshake, want 4", h.Parent())
+	}
+}

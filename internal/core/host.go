@@ -70,6 +70,18 @@ type Host struct {
 	echo          map[seqset.Seq]*echoState
 	equivocations uint64
 
+	// catchup is the client side of the catch-up sync layer (sync.go);
+	// nil unless Params.SyncBatch > 0. snapData/snapMark are the server
+	// side: the latest checkpoint bytes and their watermark (zero until
+	// the first snapshot). The uint64s are the layer's counters.
+	catchup       *syncState
+	snapData      []byte
+	snapMark      seqset.Seq
+	syncRounds    uint64
+	syncFailovers uint64
+	snapResumes   uint64
+	snapInstalls  uint64
+
 	lastFromParent time.Duration
 	started        bool
 	nextSeq        seqset.Seq // source only: next sequence number to assign
@@ -98,6 +110,7 @@ type Host struct {
 	nextGapLocal   time.Duration
 	nextGapRemote  time.Duration
 	nextGapGlobal  time.Duration
+	nextSync       time.Duration
 }
 
 type attachState struct {
@@ -112,6 +125,12 @@ type attachState struct {
 	// received message) arrives, so an unreachable host does not burn a
 	// full candidate sweep every AttachPeriod.
 	exhausted bool
+	// barren counts consecutive periodic (fresh) sweeps a detached host
+	// finished without any candidate; attach.go's Case I option 4 — the
+	// similar-INFO cross-cluster escape — engages only past a threshold,
+	// so transient startup states (where every INFO set is empty and
+	// thus trivially similar) resolve through the paper's options first.
+	barren int
 }
 
 // NewHost constructs a host. The returned host is idle until Start.
@@ -171,6 +190,9 @@ func NewHost(cfg Config, env Env) (*Host, error) {
 	}
 	if cfg.Params.EchoReady {
 		h.echo = make(map[seqset.Seq]*echoState)
+	}
+	if cfg.Params.SyncEnabled() {
+		h.catchup = &syncState{}
 	}
 	return h, nil
 }
@@ -254,6 +276,9 @@ func (h *Host) Start(now time.Duration) {
 	h.nextGapLocal = stagger(h.params.GapClusterPeriod)
 	h.nextGapRemote = stagger(h.params.GapRemotePeriod)
 	h.nextGapGlobal = stagger(h.params.GapGlobalPeriod)
+	if h.params.SyncEnabled() {
+		h.nextSync = stagger(h.params.SyncPeriod)
+	}
 }
 
 // Broadcast generates the next data message at the source and propagates
@@ -442,6 +467,14 @@ func (h *Host) dispatch(now time.Duration, from HostID, m Message) {
 		h.handleEcho(now, from, m)
 	case MsgReady:
 		h.handleReady(now, from, m)
+	case MsgSyncReq:
+		h.handleSyncReq(now, from, m)
+	case MsgSyncResp:
+		h.handleSyncResp(now, from, m)
+	case MsgSnapReq:
+		h.handleSnapReq(now, from, m)
+	case MsgSnapChunk:
+		h.handleSnapChunk(now, from, m)
 	}
 }
 
@@ -679,6 +712,11 @@ func (h *Host) Tick(now time.Duration) {
 		h.nextGapGlobal = now + h.params.GapGlobalPeriod
 		h.gapFillGlobal(now)
 	}
+	if h.params.SyncEnabled() && now >= h.nextSync {
+		h.nextSync = now + h.params.SyncPeriod
+		h.syncPump(now)
+	}
+	h.snapshotMaybe()
 	if h.params.PruneStable {
 		h.pruneStable()
 		if h.params.EchoReady {
@@ -840,7 +878,12 @@ func (h *Host) gapFillGlobal(now time.Duration) {
 // pruneStable implements §6 pruning: sequence numbers 1..p that every
 // participant is known (via MAP) to hold are dropped from INFO and the
 // store. Unknown hosts (empty MAP entries) hold the prefix at zero, so
-// pruning is conservative.
+// pruning is conservative — unless this host holds a checkpoint, which
+// liberates the floor: any prefix the checkpoint covers can be healed by
+// snapshot transfer instead of per-message redelivery, so the all-hold
+// requirement no longer binds below the watermark. Liberation requires
+// snapMark > 0, which requires Params.SnapshotsEnabled(), so the
+// snapshot path is guaranteed to exist exactly when a host may need it.
 func (h *Host) pruneStable() {
 	p := h.ownPrefix()
 	for _, j := range h.peers {
@@ -851,8 +894,11 @@ func (h *Host) pruneStable() {
 			p = q
 		}
 		if p == 0 {
-			return
+			break
 		}
+	}
+	if h.snapMark > p {
+		p = h.snapMark
 	}
 	// The floor must be monotonic: a reordered routine Info can replace a
 	// peer's confirmed view with an older snapshot, shrinking the computed

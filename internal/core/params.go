@@ -154,6 +154,40 @@ type Params struct {
 	// SuspicionAfter is the consecutive-failure count at which a peer
 	// becomes suspected (≥ 1 when the layer is enabled).
 	SuspicionAfter int
+
+	// SyncBatch enables the catch-up range-sync layer when positive: a
+	// host that is missing data a peer's confirmed view proves exists
+	// pulls it with batched MsgSyncReq range requests of at most
+	// SyncBatch sequence numbers each, instead of waiting for the
+	// periodic per-message gap fill. Zero disables the layer entirely;
+	// every schedule and wire byte is then exactly the plain protocol.
+	SyncBatch int
+	// SyncWindow caps the number of range requests kept in flight toward
+	// the sync source at once (the downloader-style pipeline depth);
+	// ≥ 1 when the sync layer is enabled.
+	SyncWindow int
+	// SyncTimeout bounds the wait for a MsgSyncResp (or the next
+	// MsgSnapChunk) before the request is retried; repeated timeouts
+	// count as probe failures for the health/backoff layer and
+	// eventually fail the source over. Positive when the sync layer is
+	// enabled.
+	SyncTimeout time.Duration
+	// SyncPeriod is how often the sync pump re-evaluates missing data
+	// and issues new range requests. Positive when the sync layer is
+	// enabled.
+	SyncPeriod time.Duration
+
+	// SnapshotEvery enables checkpointing when positive: each time the
+	// host's delivered prefix has advanced by at least SnapshotEvery
+	// sequence numbers since the last checkpoint, it asks its
+	// environment (if it implements Snapshotter) for a fresh snapshot.
+	// Peers whose gap has been pruned away everywhere then catch up by
+	// chunked snapshot transfer instead of per-message replay. Requires
+	// the sync layer (SyncBatch > 0).
+	SnapshotEvery int
+	// SnapChunk is the maximum snapshot chunk payload size in bytes for
+	// MsgSnapChunk transfers; ≥ 1 when SnapshotEvery is on.
+	SnapChunk int
 }
 
 // BackoffEnabled reports whether the per-peer health/backoff layer is
@@ -170,6 +204,30 @@ func (p Params) WithBackoff() Params {
 	p.BackoffMax = 8 * p.InfoGlobalPeriod
 	p.BackoffMultiplier = 2
 	p.SuspicionAfter = 2
+	return p
+}
+
+// SyncEnabled reports whether the catch-up range-sync layer is active.
+// The zero value of the sync fields leaves every schedule and wire byte
+// identical to the plain protocol.
+func (p Params) SyncEnabled() bool { return p.SyncBatch > 0 }
+
+// SnapshotsEnabled reports whether periodic checkpointing (and with it
+// chunked snapshot transfer) is active.
+func (p Params) SnapshotsEnabled() bool { return p.SyncEnabled() && p.SnapshotEvery > 0 }
+
+// WithCatchupSync returns p with the catch-up sync and checkpointing
+// layers enabled at the reference tuning: 64-sequence range batches, a
+// 4-request pipeline, request timeouts at twice the remote INFO period,
+// the pump clocked at the remote gap-fill period, a checkpoint every 32
+// delivered sequence numbers, and 4 KiB snapshot chunks.
+func (p Params) WithCatchupSync() Params {
+	p.SyncBatch = 64
+	p.SyncWindow = 4
+	p.SyncTimeout = 2 * p.InfoRemotePeriod
+	p.SyncPeriod = p.GapRemotePeriod
+	p.SnapshotEvery = 32
+	p.SnapChunk = 4096
 	return p
 }
 
@@ -246,6 +304,31 @@ func (p Params) Validate() error {
 		}
 		if p.SuspicionAfter < 1 {
 			return fmt.Errorf("core: SuspicionAfter must be ≥ 1, got %d", p.SuspicionAfter)
+		}
+	}
+	if p.SyncBatch != 0 || p.SyncWindow != 0 || p.SyncTimeout != 0 || p.SyncPeriod != 0 {
+		if p.SyncBatch < 1 {
+			return fmt.Errorf("core: SyncBatch must be ≥ 1 when sync is configured, got %d", p.SyncBatch)
+		}
+		if p.SyncWindow < 1 {
+			return fmt.Errorf("core: SyncWindow must be ≥ 1 when sync is configured, got %d", p.SyncWindow)
+		}
+		if p.SyncTimeout <= 0 {
+			return fmt.Errorf("core: SyncTimeout must be positive when sync is configured, got %v", p.SyncTimeout)
+		}
+		if p.SyncPeriod <= 0 {
+			return fmt.Errorf("core: SyncPeriod must be positive when sync is configured, got %v", p.SyncPeriod)
+		}
+	}
+	if p.SnapshotEvery != 0 || p.SnapChunk != 0 {
+		if p.SnapshotEvery < 1 {
+			return fmt.Errorf("core: SnapshotEvery must be ≥ 1 when snapshots are configured, got %d", p.SnapshotEvery)
+		}
+		if p.SnapChunk < 1 {
+			return fmt.Errorf("core: SnapChunk must be ≥ 1 when snapshots are configured, got %d", p.SnapChunk)
+		}
+		if !p.SyncEnabled() {
+			return errors.New("core: SnapshotEvery requires the sync layer (SyncBatch > 0)")
 		}
 	}
 	return nil

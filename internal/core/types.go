@@ -82,6 +82,26 @@ const (
 	// peers echoed this (sequence, digest) that delivering it is safe".
 	// Field usage matches MsgEcho.
 	MsgReady
+	// MsgSyncReq is a catch-up range request (Params.SyncBatch): Info
+	// carries the requested sequence ranges, Seq the request id (the low
+	// bound of the first range, echoed back in the response so the
+	// requester can match responses to in-flight windows).
+	MsgSyncReq
+	// MsgSyncResp answers a MsgSyncReq: Parts carries the requested data
+	// messages (each a gap-fill MsgData), Info the requested-but-pruned
+	// subset the responder no longer stores, Seq echoes the request id,
+	// and CheckLen advertises the responder's snapshot watermark so the
+	// requester knows a snapshot can cover the pruned prefix.
+	MsgSyncResp
+	// MsgSnapReq asks for checkpointed state transfer: Seq is the byte
+	// offset to resume from (0 starts over) and CheckLen the snapshot
+	// watermark being resumed (0 accepts whatever is current).
+	MsgSnapReq
+	// MsgSnapChunk carries one chunk of a checkpoint: Payload the chunk
+	// bytes, Seq the byte offset of the chunk, CheckLen the total
+	// snapshot length, and Info the single interval [1, mark] the
+	// snapshot covers.
+	MsgSnapChunk
 )
 
 // String implements fmt.Stringer.
@@ -107,6 +127,14 @@ func (k MsgKind) String() string {
 		return "echo"
 	case MsgReady:
 		return "ready"
+	case MsgSyncReq:
+		return "sync-req"
+	case MsgSyncResp:
+		return "sync-resp"
+	case MsgSnapReq:
+		return "snap-req"
+	case MsgSnapChunk:
+		return "snap-chunk"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -146,8 +174,9 @@ type Message struct {
 	// MsgEcho and MsgReady reuse it for the payload digest being voted on.
 	CheckLen uint64
 
-	// Parts holds the piggybacked messages of a MsgBundle; the parts
-	// themselves are never bundles.
+	// Parts holds the piggybacked messages of a MsgBundle, or the batched
+	// gap-fill data messages of a MsgSyncResp; the parts themselves are
+	// never bundles or sync responses.
 	Parts []Message
 }
 
@@ -189,6 +218,19 @@ const (
 	// exposed the conflict (it carried the later of the two digests, and
 	// is not necessarily the equivocator itself).
 	EvEquivocation
+	// EvSyncRound: the host issued a batch of catch-up range requests
+	// (one event per MsgSyncReq sent). Peer names the sync source, Seq
+	// the request id.
+	EvSyncRound
+	// EvSyncFailover: a sync source went silent mid-transfer and the
+	// host excluded it and moved to another candidate. Peer names the
+	// abandoned source.
+	EvSyncFailover
+	// EvSnapshotInstalled: the host installed a checkpointed state
+	// snapshot covering the prefix [1, Seq], advancing its INFO set and
+	// prune floor without per-message replay. Peer names the snapshot
+	// server.
+	EvSnapshotInstalled
 )
 
 // String implements fmt.Stringer.
@@ -218,6 +260,12 @@ func (k EventKind) String() string {
 		return "peer-recovered"
 	case EvEquivocation:
 		return "equivocation"
+	case EvSyncRound:
+		return "sync-round"
+	case EvSyncFailover:
+		return "sync-failover"
+	case EvSnapshotInstalled:
+		return "snapshot-installed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -244,6 +292,24 @@ type Env interface {
 	// necessarily sequence) order — the paper explicitly relaxes ordered
 	// delivery.
 	Deliver(seq seqset.Seq, payload []byte)
+}
+
+// Snapshotter is the optional Env extension behind checkpointed state
+// transfer (Params.SnapshotEvery). Runtimes whose application state has
+// a commutative, idempotent merge — the paper's §1 motivating replicated
+// database — implement it on their Env; the host discovers it by type
+// assertion and otherwise runs without snapshots.
+type Snapshotter interface {
+	// Snapshot returns a deterministic, self-contained encoding of the
+	// application state covering every delivery with sequence number
+	// ≤ upTo, or ok=false when no snapshot can be produced. The returned
+	// bytes must not be mutated afterwards.
+	Snapshot(upTo seqset.Seq) (data []byte, ok bool)
+	// InstallSnapshot merges a snapshot covering [1, upTo] into the
+	// application state, replacing per-message delivery of that prefix.
+	// It returns false when the data is unusable (corrupt, wrong
+	// version); the host then falls back to per-message sync.
+	InstallSnapshot(upTo seqset.Seq, data []byte) bool
 }
 
 // Observer receives protocol events; may be nil.

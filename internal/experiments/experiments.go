@@ -55,6 +55,7 @@ func All() []Runner {
 		{ID: "E11", Title: "§2 composition — multiple sources as parallel single-source protocols", Run: MultiSource},
 		{ID: "E12", Title: "robustness — fixed-rate vs. backoff probing across a long partition", Run: BackoffRecovery},
 		{ID: "E13", Title: "§2 assumption — echo/ready hardening vs. an equivocating source", Run: EchoReadyHardening},
+		{ID: "E14", Title: "robustness — catch-up cost vs. history length for a late joiner", Run: CatchupScaling},
 	}
 }
 

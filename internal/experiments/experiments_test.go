@@ -14,8 +14,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 16 {
-		t.Fatalf("registry holds %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry holds %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -60,7 +60,7 @@ func TestAllExperimentsHold(t *testing.T) {
 func TestAlternateSeed(t *testing.T) {
 	// A different seed must not flip the verdicts; run the cheaper
 	// experiments to bound test time.
-	for _, id := range []string{"F3.1", "F4.1", "E1", "E4", "E7", "E12", "E13"} {
+	for _, id := range []string{"F3.1", "F4.1", "E1", "E4", "E7", "E12", "E13", "E14"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -14,6 +14,7 @@ import (
 	"rbcast/internal/basic"
 	"rbcast/internal/core"
 	"rbcast/internal/netsim"
+	"rbcast/internal/replica"
 	"rbcast/internal/seqset"
 	"rbcast/internal/sim"
 	"rbcast/internal/topo"
@@ -91,6 +92,17 @@ type Scenario struct {
 	// internal/adversary. Runs stay deterministic — behaviors draw only
 	// from a seed-derived RNG.
 	Adversaries map[core.HostID][]adversary.Behavior
+	// Replicate attaches a replica.Store to every tree host: delivered
+	// payloads that decode as replica updates are applied to it, and the
+	// host's Env implements core.Snapshotter over it, enabling the
+	// checkpointed state transfer behind Params.SnapshotEvery. A snapshot
+	// install records delivery coverage for the broadcast prefix it
+	// replaces, so completeness metrics see state transfer as delivery.
+	Replicate bool
+	// PayloadFor, when set, supplies the payload of the i-th scheduled
+	// broadcast (0-based) instead of the default fixed bytes; Replicate
+	// scenarios use it to broadcast encoded replica updates.
+	PayloadFor func(i int) []byte
 }
 
 func (s Scenario) withDefaults() (Scenario, error) {
@@ -137,6 +149,9 @@ type Runtime struct {
 	BasicReceivers map[core.HostID]*basic.Receiver
 	// Adversary controls the Byzantine hosts, when the scenario has any.
 	Adversary *adversary.Controller
+	// Replicas holds each tree host's replicated store under
+	// Scenario.Replicate (nil otherwise).
+	Replicas map[core.HostID]*replica.Store
 
 	scenario Scenario
 	result   *Result
@@ -298,6 +313,10 @@ func (rt *Runtime) instrument() {
 			// allocate a throwaway buffer per message.
 			if size, err := wire.EncodedSize(wire.Frame{From: core.HostID(env.From), Message: m}); err == nil {
 				res.WireBytes += uint64(size)
+				switch m.Kind {
+				case core.MsgSyncReq, core.MsgSyncResp, core.MsgSnapReq, core.MsgSnapChunk:
+					res.CatchupWireBytes += uint64(size)
+				}
 			}
 			res.InfoWireBytes += infoWireBytes(core.HostID(env.From), m)
 		}
@@ -405,6 +424,81 @@ func (e treeEnv) Send(to core.HostID, m core.Message) {
 
 func (e treeEnv) Deliver(seq seqset.Seq, payload []byte) {
 	e.rt.record(e.id, seq, payload)
+	if st := e.rt.Replicas[e.id]; st != nil {
+		if u, err := replica.DecodeUpdate(payload); err == nil {
+			st.Apply(u)
+		}
+	}
+}
+
+// Snapshot implements core.Snapshotter over the host's replica store: a
+// checkpoint of the full replicated state stamped with the delivered
+// prefix it covers. Without Scenario.Replicate there is no state to
+// checkpoint and the host runs without snapshots.
+func (e treeEnv) Snapshot(upTo seqset.Seq) ([]byte, bool) {
+	st := e.rt.Replicas[e.id]
+	if st == nil {
+		return nil, false
+	}
+	data, err := replica.EncodeCheckpoint(st, uint64(upTo))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// InstallSnapshot merges a transferred checkpoint into the host's
+// replica store and records delivery coverage for the broadcast prefix
+// it replaces.
+func (e treeEnv) InstallSnapshot(upTo seqset.Seq, data []byte) bool {
+	st := e.rt.Replicas[e.id]
+	if st == nil {
+		return false
+	}
+	mark, rows, err := replica.DecodeCheckpoint(data)
+	if err != nil || mark != uint64(upTo) {
+		return false
+	}
+	st.InstallRows(rows)
+	e.rt.recordSnapshotCoverage(e.id, upTo)
+	return true
+}
+
+// recordSnapshotCoverage credits a snapshot install with the deliveries
+// it replaces: every broadcast sequence number ≤ mark the host had not
+// yet delivered per-message counts as delivered now (state transfer
+// carries the same state those deliveries would have built). No delay
+// sample is taken — catch-up latency is measured by the sync metrics,
+// not the per-delivery distribution.
+func (rt *Runtime) recordSnapshotCoverage(id core.HostID, mark seqset.Seq) {
+	res := rt.result
+	now := rt.Engine.Now()
+	per, ok := res.DeliveredAt[id]
+	if !ok {
+		per = make(map[seqset.Seq]time.Duration)
+		res.DeliveredAt[id] = per
+	}
+	dig, ok := res.DeliveredDigest[id]
+	if !ok {
+		dig = make(map[seqset.Seq]uint64)
+		res.DeliveredDigest[id] = dig
+	}
+	for seq := seqset.Seq(1); seq <= mark; seq++ {
+		if _, known := res.BroadcastAt[seq]; !known {
+			continue
+		}
+		if _, have := per[seq]; have {
+			continue
+		}
+		per[seq] = now
+		dig[seq] = res.BroadcastDigest[seq]
+		res.SnapshotDeliveries++
+		res.DeliveredCount++
+		if res.DeliveredCount == res.ExpectedCount && !res.Complete {
+			res.Complete = true
+			res.CompletionAt = now
+		}
+	}
 }
 
 func (rt *Runtime) buildTree() error {
@@ -415,6 +509,12 @@ func (rt *Runtime) buildTree() error {
 	}
 	source := core.HostID(rt.Topo.Source)
 	rt.TreeHosts = make(map[core.HostID]*core.Host, len(peers))
+	if s.Replicate {
+		rt.Replicas = make(map[core.HostID]*replica.Store, len(peers))
+		for _, id := range peers {
+			rt.Replicas[id] = replica.NewStore()
+		}
+	}
 	// In static cluster mode (§6), hosts are seeded with the generated
 	// clustering as their fixed CLUSTER knowledge.
 	staticClusters := make(map[core.HostID][]core.HostID)
@@ -533,13 +633,18 @@ func (rt *Runtime) tickLoop(interval time.Duration, tick func(time.Duration)) {
 
 func (rt *Runtime) scheduleWorkload() {
 	s := rt.scenario
-	payload := make([]byte, s.PayloadSize)
-	for i := range payload {
-		payload[i] = byte(i)
+	fixed := make([]byte, s.PayloadSize)
+	for i := range fixed {
+		fixed[i] = byte(i)
 	}
 	for i := 0; i < s.Messages; i++ {
+		i := i
 		at := s.WarmUp + time.Duration(i)*s.MsgInterval
 		rt.Engine.Schedule(at, func() {
+			payload := fixed
+			if s.PayloadFor != nil {
+				payload = s.PayloadFor(i)
+			}
 			now := rt.Engine.Now()
 			var seq seqset.Seq
 			rt.broadcasting = true

@@ -100,6 +100,24 @@ type Result struct {
 	// message kind (both directions).
 	SourceLinkByKind map[string]uint64
 
+	// SyncRounds totals catch-up range requests issued across hosts.
+	SyncRounds uint64
+	// SyncFailovers totals sync sources abandoned mid-transfer.
+	SyncFailovers uint64
+	// SnapResumes totals snapshot requests resumed from a nonzero
+	// verified offset (rather than restarting from byte zero).
+	SnapResumes uint64
+	// SnapInstalls totals snapshots installed across hosts.
+	SnapInstalls uint64
+	// SnapshotDeliveries counts deliveries credited to snapshot installs
+	// instead of per-message replay (Scenario.Replicate runs only).
+	SnapshotDeliveries int
+	// CatchupWireBytes restricts WireBytes to the catch-up sync channel:
+	// MsgSyncReq/MsgSyncResp/MsgSnapReq/MsgSnapChunk frames. The E14
+	// experiment uses it to show catch-up cost scales with missing data,
+	// not history length.
+	CatchupWireBytes uint64
+
 	// ResyncBursts totals fast-resync bursts across hosts (health layer).
 	ResyncBursts uint64
 	// SuppressedSends totals control sends skipped by backoff gating.
@@ -169,6 +187,14 @@ func (rt *Runtime) finalize() {
 		res.EquivocationsDetected = 0
 		for _, h := range rt.TreeHosts {
 			res.EquivocationsDetected += h.Equivocations()
+		}
+		res.SyncRounds, res.SyncFailovers, res.SnapResumes, res.SnapInstalls = 0, 0, 0, 0
+		for _, h := range rt.TreeHosts {
+			st := h.SyncStats()
+			res.SyncRounds += st.Rounds
+			res.SyncFailovers += st.Failovers
+			res.SnapResumes += st.SnapResumes
+			res.SnapInstalls += st.SnapInstalls
 		}
 	}
 	if rt.Adversary != nil {
@@ -280,6 +306,14 @@ func (r *Result) Summary() string {
 		t.AddRow("suppressed sends", r.SuppressedSends)
 		t.AddRow("resync bursts", r.ResyncBursts)
 		t.AddRow("suspected pairs", r.SuspectedPairs)
+	}
+	if r.SyncRounds > 0 || r.SnapInstalls > 0 {
+		t.AddRow("sync rounds", r.SyncRounds)
+		t.AddRow("sync failovers", r.SyncFailovers)
+		t.AddRow("snapshot installs", r.SnapInstalls)
+		t.AddRow("snapshot resumes", r.SnapResumes)
+		t.AddRow("snapshot deliveries", r.SnapshotDeliveries)
+		t.AddRow("catch-up wire bytes", r.CatchupWireBytes)
 	}
 	kinds := make([]string, 0, len(r.SendsByKind))
 	for k := range r.SendsByKind {

@@ -48,6 +48,19 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			Info: seqset.FromRange(1, 1<<40), Parent: 3}}},
 		{5, wire.Frame{From: 12, Message: core.Message{Kind: core.MsgInfoDelta,
 			Info: seqset.FromSlice([]seqset.Seq{2}), Seq: 0, CheckLen: ^uint64(0)}}},
+		// Catch-up sync kinds: a range request, a part-carrying response
+		// that also reports a pruned subset and advertises a snapshot
+		// watermark, a resuming snapshot request, and a snapshot chunk.
+		{6, wire.Frame{From: 13, Message: core.Message{Kind: core.MsgSyncReq, Seq: 2,
+			Info: seqset.FromSlice([]seqset.Seq{2, 3, 7})}}},
+		{6, wire.Frame{From: 14, Message: core.Message{Kind: core.MsgSyncResp, Seq: 2,
+			Parts: []core.Message{
+				{Kind: core.MsgData, Seq: 3, Payload: []byte("fill"), GapFill: true},
+			},
+			Info: seqset.FromRange(2, 2), CheckLen: 6}}},
+		{6, wire.Frame{From: 15, Message: core.Message{Kind: core.MsgSnapReq, Seq: 1024, CheckLen: 6}}},
+		{6, wire.Frame{From: 16, Message: core.Message{Kind: core.MsgSnapChunk, Seq: 1024,
+			Payload: []byte("chunk"), CheckLen: 4096, Info: seqset.FromRange(1, 6)}}},
 	}
 	for _, s := range seeds {
 		data, err := encodeEnvelope(s.stream, s.frame)

@@ -1,0 +1,150 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func ckptStore(t *testing.T, updates ...Update) *Store {
+	t.Helper()
+	s := NewStore()
+	for _, u := range updates {
+		s.Apply(u)
+	}
+	return s
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := ckptStore(t,
+		Update{Key: "b", Value: "2", Stamp: 2, Origin: 1},
+		Update{Key: "a", Value: "1", Stamp: 1, Origin: 1},
+		Update{Key: "gone", Stamp: 3, Origin: 2, Delete: true},
+	)
+	enc, err := EncodeCheckpoint(src, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark, rows, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark != 42 {
+		t.Errorf("watermark = %d, want 42", mark)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("decoded %d rows, want 3 (tombstones included)", len(rows))
+	}
+	dst := NewStore()
+	if changed := dst.InstallRows(rows); changed != 3 {
+		t.Errorf("InstallRows changed %d rows on an empty store, want 3", changed)
+	}
+	if got, want := dst.Fingerprint(), src.Fingerprint(); got != want {
+		t.Errorf("fingerprint after install = %s, want %s", got, want)
+	}
+}
+
+// TestCheckpointDeterministic pins the byte-identical encoding claim that
+// chunked, resumable transfer depends on: equal states encode equally
+// regardless of apply order or superseded intermediate writes.
+func TestCheckpointDeterministic(t *testing.T) {
+	a := ckptStore(t,
+		Update{Key: "x", Value: "old", Stamp: 1, Origin: 1},
+		Update{Key: "x", Value: "new", Stamp: 2, Origin: 1},
+		Update{Key: "y", Value: "v", Stamp: 1, Origin: 2},
+	)
+	b := ckptStore(t,
+		Update{Key: "y", Value: "v", Stamp: 1, Origin: 2},
+		Update{Key: "x", Value: "new", Stamp: 2, Origin: 1},
+	)
+	encA, err := EncodeCheckpoint(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := EncodeCheckpoint(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encA, encB) {
+		t.Error("equal states encoded differently")
+	}
+}
+
+// TestCheckpointInstallMerges pins the idempotent-merge contract: a
+// checkpoint installed over partial (or newer) local state keeps the
+// winners, and a second install changes nothing.
+func TestCheckpointInstallMerges(t *testing.T) {
+	src := ckptStore(t,
+		Update{Key: "a", Value: "snap", Stamp: 5, Origin: 1},
+		Update{Key: "b", Value: "snap", Stamp: 5, Origin: 1},
+	)
+	enc, err := EncodeCheckpoint(src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := ckptStore(t,
+		Update{Key: "a", Value: "stale", Stamp: 1, Origin: 2}, // loses to the snapshot
+		Update{Key: "b", Value: "newer", Stamp: 9, Origin: 2}, // beats the snapshot
+	)
+	dst.InstallRows(rows)
+	if v, ok := dst.Get("a"); !ok || v != "snap" {
+		t.Errorf(`a = %q, want snapshot winner "snap"`, v)
+	}
+	if v, ok := dst.Get("b"); !ok || v != "newer" {
+		t.Errorf(`b = %q, want local winner "newer"`, v)
+	}
+	before := dst.Fingerprint()
+	if changed := dst.InstallRows(rows); changed != 0 {
+		t.Errorf("re-install changed %d rows, want 0", changed)
+	}
+	if dst.Fingerprint() != before {
+		t.Error("re-install changed the fingerprint")
+	}
+}
+
+func TestCheckpointDecodeRejectsMalformed(t *testing.T) {
+	good, err := EncodeCheckpoint(ckptStore(t,
+		Update{Key: "k", Value: "v", Stamp: 1, Origin: 1},
+	), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:8]},
+		{"bad magic", mut(func(b []byte) []byte { b[0] = 0x00; return b })},
+		{"bad version", mut(func(b []byte) []byte { b[1] = 9; return b })},
+		{"row count over data", mut(func(b []byte) []byte { b[13]++; return b })},
+		{"oversized row count", mut(func(b []byte) []byte {
+			b[10], b[11], b[12], b[13] = 0xff, 0xff, 0xff, 0xff
+			return b
+		})},
+		{"truncated row", good[:len(good)-1]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0x00)},
+		{"zeroed row length", mut(func(b []byte) []byte {
+			b[14], b[15], b[16], b[17] = 0, 0, 0, 0
+			return b
+		})},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := DecodeCheckpoint(tt.data); !errors.Is(err, ErrBadCheckpoint) {
+				t.Errorf("DecodeCheckpoint accepted %s (err = %v)", tt.name, err)
+			}
+		})
+	}
+	if _, _, err := DecodeCheckpoint(good); err != nil {
+		t.Fatalf("control: pristine checkpoint rejected: %v", err)
+	}
+}

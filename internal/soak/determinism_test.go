@@ -22,6 +22,39 @@ func TestSameSeedIdenticalEventTraceDeltaInfo(t *testing.T) {
 	checkSameSeedTrace(t, true)
 }
 
+// The catch-up sync layer adds per-host transfer state machines —
+// in-flight request windows, snapshot byte offsets, retry deadlines,
+// source failover — that must be exactly as deterministic as the plain
+// protocol. The pinned seed carries a mid-sync disruption arm, so the
+// resumable-transfer paths (timeout, re-request from the verified
+// offset) are inside the compared traces.
+func TestSameSeedIdenticalEventTraceLateJoiner(t *testing.T) {
+	seed := int64(-1)
+	for s := int64(1); s <= 60; s++ {
+		if len(NewSpec(ClassLateJoiner, s).Steps) > 2 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no late-joiner seed with a mid-sync arm in 1..60")
+	}
+	run := func() *harness.Result {
+		t.Helper()
+		sc, err := NewSpec(ClassLateJoiner, seed).Scenario()
+		if err != nil {
+			t.Fatalf("Scenario: %v", err)
+		}
+		sc.CollectEvents = true
+		res, err := harness.Run(sc)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	compareTraces(t, run(), run())
+}
+
 // Adversary hooks rewrite traffic at the netsim transmit seam using
 // per-host seeded RNG streams, so they must not cost any determinism:
 // same seed, same adversaries, same event trace. One maskable seed and

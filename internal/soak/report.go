@@ -63,7 +63,9 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 		"seed", "pass", "hosts", "clusters", "messages", "delivered", "expected",
 		"complete_at_ms", "mean_delay_us", "p99_delay_us", "total_sends",
 		"events_run", "unreachable_sends", "suppressed_sends", "resync_bursts",
-		"post_heal_ms", "equivocations", "foreign_deliveries", "detected", "violations",
+		"post_heal_ms", "sync_rounds", "sync_failovers", "snap_resumes",
+		"snap_installs", "catchup_wire_bytes",
+		"equivocations", "foreign_deliveries", "detected", "violations",
 	}); err != nil {
 		return err
 	}
@@ -85,6 +87,11 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(r.SuppressedSends, 10),
 			strconv.FormatUint(r.ResyncBursts, 10),
 			strconv.FormatInt(r.PostHealMS, 10),
+			strconv.FormatUint(r.SyncRounds, 10),
+			strconv.FormatUint(r.SyncFailovers, 10),
+			strconv.FormatUint(r.SnapResumes, 10),
+			strconv.FormatUint(r.SnapInstalls, 10),
+			strconv.FormatUint(r.CatchupWireBytes, 10),
 			strconv.FormatUint(r.Equivocations, 10),
 			strconv.Itoa(r.ForeignDeliveries),
 			strings.Join(r.Detected, "; "),

@@ -75,6 +75,14 @@ type SeedReport struct {
 	// 0 when the spec has no heal step or the run never completed.
 	PostHealMS int64 `json:"post_heal_ms,omitempty"`
 
+	// Catch-up layer counters (nonzero only when the spec enables
+	// CatchupSync), summed over all hosts.
+	SyncRounds       uint64 `json:"sync_rounds,omitempty"`
+	SyncFailovers    uint64 `json:"sync_failovers,omitempty"`
+	SnapResumes      uint64 `json:"snap_resumes,omitempty"`
+	SnapInstalls     uint64 `json:"snap_installs,omitempty"`
+	CatchupWireBytes uint64 `json:"catchup_wire_bytes,omitempty"`
+
 	// Byzantine-class fields (set only when the spec has adversaries).
 	// AdversaryHosts lists the hostile host IDs, ascending.
 	AdversaryHosts []int `json:"adversary_hosts,omitempty"`
@@ -291,6 +299,26 @@ func RunSpec(sp Spec) SeedReport {
 	rep.UnreachableSends = res.UnreachableSends
 	rep.ResyncBursts = res.ResyncBursts
 	rep.SuppressedSends = res.SuppressedSends
+	rep.SyncRounds = res.SyncRounds
+	rep.SyncFailovers = res.SyncFailovers
+	rep.SnapResumes = res.SnapResumes
+	rep.SnapInstalls = res.SnapInstalls
+	rep.CatchupWireBytes = res.CatchupWireBytes
+	if sp.CatchupSync && !sp.ExpectViolation {
+		// Convergence must be O(missing data), not O(history): every range
+		// request covers up to SyncBatch (64) sequence numbers, so across
+		// all hosts — with slack for per-request retries, failovers, and
+		// the probe broadcasts — the round total must stay far below one
+		// round per message. A per-message repair loop blows this budget
+		// immediately on long-history seeds.
+		budget := uint64(rep.Hosts) * uint64(4*((sp.Messages+63)/64+4))
+		if rep.SyncRounds > budget {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"catchup: %d sync rounds exceed the O(missing) budget %d for %d messages",
+				rep.SyncRounds, budget, sp.Messages))
+			rep.Pass = false
+		}
+	}
 	if len(sp.Adversaries) > 0 {
 		for _, h := range res.AdversaryHosts {
 			rep.AdversaryHosts = append(rep.AdversaryHosts, int(h))

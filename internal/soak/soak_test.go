@@ -278,6 +278,99 @@ func TestRecoveryDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestLateJoinerSpecShape: every late-joiner spec takes one non-source
+// host down before the workload and brings it back only after the whole
+// history is out, with catch-up sync, replication, and pruning enabled
+// and the horizon comfortably past the join.
+func TestLateJoinerSpecShape(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sp := NewSpec(ClassLateJoiner, seed)
+		if !sp.CatchupSync || !sp.Replicate || !sp.PruneStable {
+			t.Errorf("seed %d: catch-up knobs not all set: %+v", seed, sp)
+		}
+		if !sp.FinalConnected {
+			t.Errorf("seed %d: late-joiner spec claims disconnected final state", seed)
+		}
+		if len(sp.Steps) < 2 || sp.Steps[0].Kind != StepHostDown || sp.Steps[0].AtMS != 1 {
+			t.Fatalf("seed %d: steps do not start with an immediate host-down: %v", seed, sp.Steps)
+		}
+		if sp.Steps[0].Index == 0 {
+			t.Errorf("seed %d: joiner is the source", seed)
+		}
+		join := sp.Steps[1]
+		if join.Kind != StepHostUp || join.Index != sp.Steps[0].Index {
+			t.Fatalf("seed %d: second step is not the joiner's return: %v", seed, sp.Steps)
+		}
+		workloadEnd := int64(sp.Messages) * sp.MsgIntervalMS
+		if join.AtMS <= workloadEnd {
+			t.Errorf("seed %d: join at %dms inside the workload (ends %dms)", seed, join.AtMS, workloadEnd)
+		}
+		if sp.DrainMS <= join.AtMS {
+			t.Errorf("seed %d: drain %dms not past the join %dms", seed, sp.DrainMS, join.AtMS)
+		}
+		for _, st := range sp.Steps[2:] {
+			if st.AtMS <= join.AtMS && st.Kind != StepHostUp {
+				t.Errorf("seed %d: arm step %v fires before the join", seed, st)
+			}
+		}
+		if err := sp.params().Validate(); err != nil {
+			t.Errorf("seed %d: generated params invalid: %v", seed, err)
+		}
+		if !sp.params().SnapshotsEnabled() {
+			t.Errorf("seed %d: snapshots not enabled by derived params", seed)
+		}
+	}
+}
+
+// TestLateJoinerSoak runs a small late-joiner sweep: every seed must
+// converge (the per-seed O(missing) round budget is checked inside
+// RunSpec), and snapshot transfer must demonstrably fire somewhere in
+// the sweep — otherwise the class is not exercising the catch-up path.
+func TestLateJoinerSoak(t *testing.T) {
+	sum, err := Run(Config{Class: ClassLateJoiner, SeedStart: 1, Seeds: 6})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range sum.Failures() {
+		t.Errorf("seed %d failed: %v\n  replay: %s",
+			f.Seed, f.Violations, ReplayCommand(ClassLateJoiner, f.Seed))
+	}
+	var rounds, installs uint64
+	for _, r := range sum.Reports {
+		rounds += r.SyncRounds
+		installs += r.SnapInstalls
+	}
+	if rounds == 0 {
+		t.Error("no seed issued a sync round — catch-up layer inert across the sweep")
+	}
+	if installs == 0 {
+		t.Error("no seed installed a snapshot across the sweep")
+	}
+}
+
+// TestLateJoinerDeterministicAcrossWorkers extends the sharding
+// guarantee to the catch-up class: transfer state machines, timeouts,
+// and failovers are all virtual-time driven, so per-seed reports stay
+// byte-identical regardless of worker count.
+func TestLateJoinerDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		sum, err := Run(Config{Class: ClassLateJoiner, SeedStart: 20, Seeds: 4, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		data, err := json.Marshal(sum.Reports)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	one := marshal(1)
+	four := marshal(4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("late-joiner reports differ between 1 and 4 workers:\n1: %s\n4: %s", one, four)
+	}
+}
+
 func hasInvariant(violations []string, name string) bool {
 	for _, v := range violations {
 		if strings.HasPrefix(v, name+":") {

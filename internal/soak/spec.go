@@ -21,6 +21,7 @@ import (
 	"rbcast/internal/detrand"
 	"rbcast/internal/harness"
 	"rbcast/internal/netsim"
+	"rbcast/internal/replica"
 	"rbcast/internal/sim"
 	"rbcast/internal/topo"
 )
@@ -58,6 +59,16 @@ const (
 	// the seed passes only if the Byzantine invariants report it
 	// (ExpectViolation semantics, the partition-trap pattern).
 	ClassByzantine Class = "byzantine"
+	// ClassLateJoiner exercises the catch-up sync layer: one host is
+	// down from before the first broadcast and rejoins only after a long
+	// history has been delivered — and, under liberated pruning, partly
+	// pruned everywhere — so convergence requires snapshot transfer plus
+	// range sync. Randomized arms re-partition the network mid-sync,
+	// crash a healthy host (the joiner's likely sync source), or kill
+	// and restart the joiner itself mid-transfer; each seed asserts the
+	// joiner converges in sync rounds proportional to what it missed,
+	// not to the history length.
+	ClassLateJoiner Class = "late-joiner"
 	// ClassByzantinePartition combines maskable adversaries with a
 	// healed cluster partition: hostile hosts plus benign failures at
 	// once, with correct-host delivery still required.
@@ -67,7 +78,7 @@ const (
 // Classes lists every scenario class.
 func Classes() []Class {
 	return []Class{ClassUniform, ClassChurn, ClassPartition, ClassMixed, ClassPartitionTrap,
-		ClassRecovery, ClassByzantine, ClassByzantinePartition}
+		ClassRecovery, ClassLateJoiner, ClassByzantine, ClassByzantinePartition}
 }
 
 // ParseClass resolves a class name.
@@ -168,6 +179,15 @@ type Spec struct {
 	BackoffMultiplier float64 `json:"backoff_multiplier,omitempty"`
 	SuspicionAfter    int     `json:"suspicion_after,omitempty"`
 
+	// CatchupSync layers the reference catch-up tuning
+	// (core.Params.WithCatchupSync, applied after ParamScale) on top of
+	// the derived parameters; the late-joiner class always sets it.
+	CatchupSync bool `json:"catchup_sync,omitempty"`
+	// Replicate attaches a replica.Store to every host and broadcasts
+	// encoded replica updates, so checkpoints carry real application
+	// state (required for snapshot transfer to have anything to move).
+	Replicate bool `json:"replicate,omitempty"`
+
 	Steps []Step `json:"steps,omitempty"`
 
 	// Adversaries places Byzantine behavior stacks on hosts (see
@@ -244,7 +264,7 @@ func NewSpec(class Class, seed int64) Spec {
 		Seed:  seed,
 	}
 	needsPartition := class == ClassPartition || class == ClassPartitionTrap || class == ClassRecovery ||
-		class == ClassByzantine || class == ClassByzantinePartition
+		class == ClassLateJoiner || class == ClassByzantine || class == ClassByzantinePartition
 	if needsPartition {
 		sp.Clusters = 2 + rng.Intn(3) // 2..4: something to partition
 	} else {
@@ -331,6 +351,53 @@ func NewSpec(class Class, seed int64) Spec {
 		sp.BackoffMaxMS = sp.BackoffBaseMS * (4 + rng.Int63n(5)) // 4..8× base
 		sp.BackoffMultiplier = 1.5 + rng.Float64()               // 1.5..2.5
 		sp.SuspicionAfter = 1 + rng.Intn(3)                      // 1..3
+	}
+	if class == ClassLateJoiner {
+		sp.CatchupSync = true
+		sp.Replicate = true
+		sp.PruneStable = true
+		// A long history delivered quickly, so the joiner's gap is large
+		// and (with checkpointing on) partly pruned before it returns.
+		sp.Messages = 60 + rng.Intn(120)
+		sp.MsgIntervalMS = randMS(rng, 40, 120)
+		joiner := 1 + rng.Intn(sp.Hosts()-1) // never position 0 (the source)
+		workloadEnd := int64(sp.Messages) * sp.MsgIntervalMS
+		join := workloadEnd + randMS(rng, 2_000, 8_000)
+		sp.Steps = []Step{
+			{AtMS: 1, Kind: StepHostDown, Index: joiner},
+			{AtMS: join, Kind: StepHostUp, Index: joiner},
+		}
+		if rng.Intn(3) == 0 {
+			// Mid-sync partition: a non-source cluster is cut shortly after
+			// the join and healed a few seconds later; transfers crossing it
+			// must time out, fail over or resume.
+			c := 1 + rng.Intn(sp.Clusters-1)
+			at := join + randMS(rng, 500, 3_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: at, Kind: StepIsolateCluster, Index: c},
+				Step{AtMS: at + randMS(rng, 2_000, 6_000), Kind: StepHealCluster, Index: c})
+		}
+		if sp.Hosts() > 2 && rng.Intn(3) == 0 {
+			// Sync-source crash: a healthy host — quite possibly the peer
+			// the joiner is pulling from — goes silent mid-sync.
+			victim := 1 + rng.Intn(sp.Hosts()-1)
+			for victim == joiner {
+				victim = 1 + rng.Intn(sp.Hosts()-1)
+			}
+			at := join + randMS(rng, 500, 3_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: at, Kind: StepHostDown, Index: victim},
+				Step{AtMS: at + randMS(rng, 2_000, 5_000), Kind: StepHostUp, Index: victim})
+		}
+		if rng.Intn(3) == 0 {
+			// Kill/restart the joiner itself mid-sync: on return the
+			// transfer must resume from the verified prefix, not restart.
+			at := join + randMS(rng, 300, 2_000)
+			sp.Steps = append(sp.Steps,
+				Step{AtMS: at, Kind: StepHostDown, Index: joiner},
+				Step{AtMS: at + randMS(rng, 500, 2_500), Kind: StepHostUp, Index: joiner})
+		}
+		sp.DrainMS = join + randMS(rng, 35_000, 50_000)
 	}
 	if class == ClassByzantine {
 		if rng.Intn(10) < 3 {
@@ -432,6 +499,11 @@ func (sp Spec) params() core.Params {
 	p.GapGlobalPeriod = scale(p.GapGlobalPeriod)
 	p.AttachTimeout = scale(p.AttachTimeout)
 	p.ParentTimeout = scale(p.ParentTimeout)
+	if sp.CatchupSync {
+		// After scaling, so SyncTimeout/SyncPeriod keep their ratios to
+		// the INFO and gap-fill periods they are derived from.
+		p = p.WithCatchupSync()
+	}
 	if sp.GapFillBatch > 0 {
 		p.GapFillBatch = sp.GapFillBatch
 	}
@@ -510,6 +582,10 @@ func (sp Spec) Scenario() (harness.Scenario, error) {
 		Drain:            time.Duration(sp.DrainMS) * time.Millisecond,
 		StopWhenComplete: true,
 	}
+	if sp.Replicate {
+		sc.Replicate = true
+		sc.PayloadFor = replicaWorkload(16)
+	}
 	for _, st := range sp.Steps {
 		st := st
 		sc.Events = append(sc.Events, harness.TimedEvent{
@@ -538,6 +614,24 @@ func (sp Spec) Scenario() (harness.Scenario, error) {
 		sc.Adversaries = adv
 	}
 	return sc, nil
+}
+
+// replicaWorkload is the deterministic replicated-register workload for
+// Replicate specs: updates over a bounded key space with monotone
+// stamps, so every store converges to the same winners and a checkpoint
+// is state-sized (O(keys)), not history-sized.
+func replicaWorkload(keys int) func(i int) []byte {
+	return func(i int) []byte {
+		enc, err := replica.EncodeUpdate(replica.Update{
+			Key:   fmt.Sprintf("k%02d", i%keys),
+			Value: fmt.Sprintf("v%05d", i),
+			Stamp: uint64(i + 1),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return enc
+	}
 }
 
 func applyStep(rt *harness.Runtime, st Step) error {

@@ -41,6 +41,21 @@ func FuzzDecode(f *testing.F) {
 			Seq: 0, CheckLen: ^uint64(0)}},
 		{From: 14, Message: core.Message{Kind: core.MsgReady,
 			Seq: 1 << 60, CheckLen: ^uint64(0)}},
+		// Catch-up sync kinds: a range request, a response carrying both
+		// gap-fill parts and a pruned subset plus a snapshot watermark, a
+		// resuming snapshot request, and a mid-transfer snapshot chunk.
+		{From: 15, Message: core.Message{Kind: core.MsgSyncReq, Seq: 3,
+			Info: seqset.FromSlice([]seqset.Seq{3, 4, 5, 9})}},
+		{From: 16, Message: core.Message{Kind: core.MsgSyncResp, Seq: 3,
+			Parts: []core.Message{
+				{Kind: core.MsgData, Seq: 4, Payload: []byte("fill"), GapFill: true},
+				{Kind: core.MsgData, Seq: 5, Payload: []byte("more"), GapFill: true},
+			},
+			Info: seqset.FromRange(3, 3), CheckLen: 8}},
+		{From: 17, Message: core.Message{Kind: core.MsgSnapReq, Seq: 4096, CheckLen: 8}},
+		{From: 18, Message: core.Message{Kind: core.MsgSnapChunk, Seq: 4096,
+			Payload: []byte("chunk-bytes"), CheckLen: 8192,
+			Info: seqset.FromRange(1, 8)}},
 	}
 	for _, fr := range seedFrames {
 		data, err := wire.Encode(fr)

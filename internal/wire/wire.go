@@ -19,18 +19,22 @@
 //	uint32  payload length, then payload bytes
 //	uint32  interval count, then (uint64 lo, uint64 hi) pairs
 //
-// Bundle frames (kind = MsgBundle) additionally carry:
+// Part-carrying frames (kinds MsgBundle and MsgSyncResp) additionally
+// carry:
 //
 //	uint32  part count, then per part: uint32 length + encoded sub-frame
 //
-// Sub-frames are complete frames of non-bundle kinds (bundles never
-// nest). Delta INFO frames (kind = MsgInfoDelta) and echo/ready votes
-// (kinds MsgEcho, MsgReady) additionally carry:
+// Sub-frames are complete frames of kinds that do not themselves carry
+// parts (bundles and sync responses never nest). Delta INFO frames
+// (kind = MsgInfoDelta), echo/ready votes (kinds MsgEcho, MsgReady),
+// and the catch-up sync kinds (MsgSyncResp, MsgSnapReq, MsgSnapChunk)
+// additionally carry:
 //
 //	uint64  CheckLen: for a delta, the full-set member count (the
 //	        checksum half; the sequence-number header slot holds the
 //	        full-set maximum); for echo/ready, the payload digest
-//	        being voted on
+//	        being voted on; for the sync kinds, the snapshot
+//	        watermark or total snapshot length (see core.MsgKind docs)
 //
 // The hot path is AppendEncode, which appends into a caller-owned buffer
 // and allocates nothing; Encode is a convenience wrapper, and
@@ -87,17 +91,28 @@ func knownKind(k core.MsgKind) bool {
 	switch k {
 	case core.MsgData, core.MsgInfo, core.MsgAttachReq, core.MsgAttachAccept,
 		core.MsgAttachReject, core.MsgDetach, core.MsgBundle, core.MsgInfoDelta,
-		core.MsgEcho, core.MsgReady:
+		core.MsgEcho, core.MsgReady, core.MsgSyncReq, core.MsgSyncResp,
+		core.MsgSnapReq, core.MsgSnapChunk:
 		return true
 	}
 	return false
 }
 
 // kindHasCheck reports whether the frame carries the trailing uint64
-// CheckLen field: the full-set checksum half of a delta INFO, or the
-// payload digest of an echo/ready vote.
+// CheckLen field: the full-set checksum half of a delta INFO, the
+// payload digest of an echo/ready vote, or the snapshot watermark /
+// total length of the catch-up sync kinds.
 func kindHasCheck(k core.MsgKind) bool {
-	return k == core.MsgInfoDelta || k == core.MsgEcho || k == core.MsgReady
+	return k == core.MsgInfoDelta || k == core.MsgEcho || k == core.MsgReady ||
+		k == core.MsgSyncResp || k == core.MsgSnapReq || k == core.MsgSnapChunk
+}
+
+// kindHasParts reports whether the frame carries length-prefixed
+// sub-frames: a §6 piggyback bundle, or a catch-up sync response whose
+// parts are the batched gap-fill data messages. Part-carrying frames
+// never nest.
+func kindHasParts(k core.MsgKind) bool {
+	return k == core.MsgBundle || k == core.MsgSyncResp
 }
 
 // checkEncodable validates the frame fields shared by AppendEncode and
@@ -106,8 +121,8 @@ func checkEncodable(f Frame) error {
 	if !knownKind(f.Message.Kind) {
 		return fmt.Errorf("%w: %d", ErrBadKind, f.Message.Kind)
 	}
-	if f.Message.Kind != core.MsgBundle && len(f.Message.Parts) > 0 {
-		return fmt.Errorf("wire: non-bundle frame carries %d parts", len(f.Message.Parts))
+	if !kindHasParts(f.Message.Kind) && len(f.Message.Parts) > 0 {
+		return fmt.Errorf("wire: %s frame carries %d parts", f.Message.Kind, len(f.Message.Parts))
 	}
 	if len(f.Message.Parts) > MaxParts {
 		return fmt.Errorf("%w: %d parts", ErrTooLarge, len(f.Message.Parts))
@@ -132,11 +147,11 @@ func EncodedSize(f Frame) (int, error) {
 	if kindHasCheck(f.Message.Kind) {
 		size += 8
 	}
-	if f.Message.Kind == core.MsgBundle {
+	if kindHasParts(f.Message.Kind) {
 		size += 4
 		for _, part := range f.Message.Parts {
-			if part.Kind == core.MsgBundle {
-				return 0, fmt.Errorf("wire: nested bundle")
+			if kindHasParts(part.Kind) {
+				return 0, fmt.Errorf("wire: nested part-carrying frame")
 			}
 			sub, err := EncodedSize(Frame{From: f.From, Message: part})
 			if err != nil {
@@ -185,11 +200,11 @@ func appendFrame(buf []byte, f Frame) ([]byte, error) {
 	if kindHasCheck(f.Message.Kind) {
 		buf = binary.BigEndian.AppendUint64(buf, f.Message.CheckLen)
 	}
-	if f.Message.Kind == core.MsgBundle {
+	if kindHasParts(f.Message.Kind) {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Message.Parts)))
 		for _, part := range f.Message.Parts {
-			if part.Kind == core.MsgBundle {
-				return buf, fmt.Errorf("wire: nested bundle")
+			if kindHasParts(part.Kind) {
+				return buf, fmt.Errorf("wire: nested part-carrying frame")
 			}
 			// Reserve the length prefix, encode the sub-frame in place,
 			// then patch the prefix — no temporary buffer.
@@ -279,7 +294,7 @@ func Decode(data []byte) (Frame, error) {
 		rest = rest[8:]
 	}
 
-	if kind == core.MsgBundle {
+	if kindHasParts(kind) {
 		if len(rest) < 4 {
 			return f, ErrTruncated
 		}
@@ -299,8 +314,8 @@ func Decode(data []byte) (Frame, error) {
 			if err != nil {
 				return f, fmt.Errorf("wire: bundle part %d: %w", i, err)
 			}
-			if subFrame.Message.Kind == core.MsgBundle {
-				return f, fmt.Errorf("%w: nested bundle", ErrBadKind)
+			if kindHasParts(subFrame.Message.Kind) {
+				return f, fmt.Errorf("%w: nested part-carrying frame", ErrBadKind)
 			}
 			if subFrame.From != f.From {
 				return f, fmt.Errorf("wire: bundle part %d from %d, bundle from %d",
