@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race check soak soak-byzantine soak-catchup fuzz fuzz-smoke bench-json bench-smoke clean
+.PHONY: all build vet lint lint-sarif lint-selftest test race check soak soak-byzantine soak-catchup soak-smoke-race fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -10,8 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the protocol-aware analyzer suite (detlint, leaklint,
-# locklint, monolint, paramlint, taintlint, wirelint) against the
+# lint runs the protocol-aware analyzer suite (alloclint, detlint,
+# leaklint, locklint, monolint, ordlint, paramlint, sharelint,
+# taintlint, wirelint) over one whole-program call graph against the
 # committed baseline; see internal/analysis/README.md. New findings fail
 # the run; accepted ones live in .rblint-baseline.json.
 lint:
@@ -21,6 +22,20 @@ lint:
 # for code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/rblint -baseline .rblint-baseline.json -sarif rblint.sarif ./...
+
+# lint-selftest proves the concurrency analyzers still bite: rblint runs
+# over the deliberately-broken fixture (checked as rbcast/internal/udp,
+# so the path-scoped analyzers are in jurisdiction) and must exit 1 with
+# sharelint, ordlint, and alloclint findings in the SARIF log. A passing
+# fixture run means an analyzer fell silent — that fails CI.
+lint-selftest:
+	@$(GO) run ./cmd/rblint -as rbcast/internal/udp -sarif rblint-selftest.sarif internal/analysis/testdata/broken; \
+	status=$$?; \
+	if [ $$status -ne 1 ]; then echo "lint-selftest: expected exit 1 (findings), got $$status"; exit 1; fi
+	@for rule in sharelint ordlint alloclint; do \
+		grep -q "\"ruleId\": \"$$rule\"" rblint-selftest.sarif || { echo "lint-selftest: no $$rule finding in rblint-selftest.sarif"; exit 1; }; \
+	done
+	@echo "lint-selftest: ok (sharelint, ordlint, alloclint all firing)"
 
 test:
 	$(GO) test ./...
@@ -61,6 +76,17 @@ soak-byzantine: build
 # the timeout/resume/failover paths on every run.
 soak-catchup: build
 	$(GO) run ./cmd/rbsoak -class late-joiner -count 200
+
+# soak-smoke-race is a short randomized sweep with the race detector
+# compiled in: small counts, one class per scenario family that stresses
+# the event queue and membership machinery hardest. CI runs it across a
+# GOMAXPROCS matrix so both serialized and parallel schedules are
+# exercised; locally it is the cheap pre-push race check.
+soak-smoke-race:
+	$(GO) run -race ./cmd/rbsoak -class uniform -count 25
+	$(GO) run -race ./cmd/rbsoak -class mixed -count 25
+	$(GO) run -race ./cmd/rbsoak -class byzantine -count 10
+	$(GO) run -race ./cmd/rbsoak -class late-joiner -count 10
 
 # bench-json records the perf-tracking suite (internal/bench) as a
 # BENCH_<date>.json snapshot via cmd/rbbench; schema in README

@@ -60,3 +60,4 @@ func BenchmarkWireAppendEncodeInfo(b *testing.B) { bench.WireAppendEncodeInfo(b)
 func BenchmarkWireDecodeInfo(b *testing.B)       { bench.WireDecodeInfo(b) }
 func BenchmarkWireCodecKinds(b *testing.B)       { bench.WireCodecKinds(b) }
 func BenchmarkRBLintSuite(b *testing.B)          { bench.RBLintSuite(b) }
+func BenchmarkCallGraph(b *testing.B)            { bench.CallGraph(b) }

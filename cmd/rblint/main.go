@@ -10,8 +10,12 @@
 //	go run ./cmd/rblint -baseline .rblint-baseline.json ./...
 //	go run ./cmd/rblint -baseline .rblint-baseline.json -write-baseline ./...
 //	go run ./cmd/rblint -fix ./...
+//	go run ./cmd/rblint -as rbcast/internal/udp ./internal/analysis/testdata/broken
 //
-// With no patterns, ./... is analyzed. With -baseline, findings already
+// With no patterns, ./... is analyzed. With -as, exactly one package
+// directory is analyzed in isolation, type-checked under the given
+// import path — the fixture mode `make lint-selftest` uses to prove the
+// path-scoped analyzers still produce findings. With -baseline, findings already
 // recorded in the baseline file are reported as "baselined" but do not
 // fail the run — only new findings do. -write-baseline rewrites the
 // baseline to accept the current findings. -fix applies suggested fixes
@@ -26,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 
 	"rbcast/internal/analysis"
@@ -36,6 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout")
 	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 log to `file` (\"-\" for stdout)")
 	baselinePath := flag.String("baseline", "", "fail only on findings not recorded in the baseline `file`")
+	asPath := flag.String("as", "", "check a single package directory under this import `path` (fixture runs)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file to accept current findings")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	flag.Usage = func() {
@@ -64,7 +70,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rblint:", err)
 		os.Exit(2)
 	}
-	diags, fset, modRoot, err := analysis.Run(wd, flag.Args()...)
+	var (
+		diags   []analysis.Diagnostic
+		fset    *token.FileSet
+		modRoot string
+	)
+	if *asPath != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "rblint: -as takes exactly one package directory")
+			os.Exit(2)
+		}
+		diags, fset, modRoot, err = analysis.RunDir(flag.Arg(0), *asPath)
+	} else {
+		diags, fset, modRoot, err = analysis.Run(wd, flag.Args()...)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rblint:", err)
 		os.Exit(2)

@@ -46,7 +46,7 @@ type Analyzer struct {
 // Analyzers lists every analyzer in the suite, in the order the driver
 // runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetLint, LeakLint, LockLint, MonoLint, ParamLint, TaintLint, WireLint}
+	return []*Analyzer{AllocLint, DetLint, LeakLint, LockLint, MonoLint, OrdLint, ParamLint, ShareLint, TaintLint, WireLint}
 }
 
 // analyzerNames returns the set of valid analyzer names for directive
@@ -75,6 +75,12 @@ type Pass struct {
 	Dir string
 	// ModRoot is the module root directory (where go.mod lives).
 	ModRoot string
+	// Prog is the whole-program view (call graph plus memoized function
+	// summaries) shared by every package analyzed in one run. The
+	// whole-program analyzers (sharelint, ordlint, alloclint) and the
+	// interprocedural parts of taintlint/leaklint consume it; per-package
+	// analyzers may ignore it.
+	Prog *Program
 
 	diagnostics []Diagnostic
 }

@@ -456,6 +456,44 @@ func reachableFrom(start []*Block, avoid func(*Block) bool) map[*Block]bool {
 	return seen
 }
 
+// findNodeBlock locates the block and node index holding n.
+func findNodeBlock(cfg *CFG, n ast.Node) (*Block, int) {
+	for _, blk := range cfg.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// pathDominates reports whether every path from entry to the node at
+// blk.Nodes[idx] passes through a node satisfying isGuard first: a
+// guard earlier in the same block dominates trivially; otherwise no
+// entry path avoiding every guard block may reach blk. This is the
+// dominance question monolint asks of prune-floor comparisons and
+// sharelint asks of lock acquisitions.
+func pathDominates(cfg *CFG, blk *Block, idx int, isGuard func(ast.Node) bool) bool {
+	for _, n := range blk.Nodes[:idx] {
+		if isGuard(n) {
+			return true
+		}
+	}
+	isGuardBlock := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if isGuard(n) {
+				return true
+			}
+		}
+		return false
+	}
+	reached := reachableFrom([]*Block{cfg.Entry()}, func(b *Block) bool {
+		return b != blk && isGuardBlock(b)
+	})
+	return !reached[blk]
+}
+
 // String renders the graph for golden tests: one line per block with its
 // nodes (single-line, whitespace-collapsed, truncated) and successors.
 func (c *CFG) String() string {

@@ -10,7 +10,20 @@ import (
 // the package's //rblint:ignore directives (parsed from its non-test
 // files) to the findings. Directive problems — missing reason, unknown
 // analyzer name, stale directive — come back as "rblint" diagnostics.
+//
+// The package is analyzed as a whole program by itself: the call graph
+// and function summaries cover exactly this package. Cross-package
+// facts (a goroutine spawned in live reaching code in udp) need the
+// multi-package Run entry point, which shares one Program across every
+// loaded package.
 func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(loader.Fset, []*Package{pkg})
+	return runPackage(loader, prog, pkg, analyzers)
+}
+
+// runPackage is the shared per-package pass driver; prog spans at least
+// pkg and supplies the interprocedural facts.
+func runPackage(loader *Loader, prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	valid := make(map[string]bool)
 	for _, a := range analyzers {
 		valid[a.Name] = true
@@ -28,6 +41,7 @@ func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnost
 			TypesInfo: pkg.TypesInfo,
 			Dir:       pkg.Dir,
 			ModRoot:   loader.ModRoot,
+			Prog:      prog,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -41,9 +55,12 @@ func RunPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnost
 }
 
 // Run loads the packages matched by patterns (resolved relative to the
-// module containing dir) and applies the full analyzer suite to each.
-// It returns all surviving diagnostics, the FileSet to position them
-// with, and the module root (for root-relative output paths).
+// module containing dir), builds one whole-program call graph over all
+// of them, and applies the full analyzer suite to each package against
+// that shared view — so spawn edges, lock orders, and taint summaries
+// cross package boundaries. It returns all surviving diagnostics, the
+// FileSet to position them with, and the module root (for root-relative
+// output paths).
 func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, string, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
@@ -53,9 +70,10 @@ func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, string, 
 	if err != nil {
 		return nil, nil, "", err
 	}
+	prog := NewProgram(loader.Fset, pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := RunPackage(loader, pkg, Analyzers())
+		diags, err := runPackage(loader, prog, pkg, Analyzers())
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -63,6 +81,29 @@ func Run(dir string, patterns ...string) ([]Diagnostic, *token.FileSet, string, 
 	}
 	sortDiagnostics(loader.Fset, all)
 	return all, loader.Fset, loader.ModRoot, nil
+}
+
+// RunDir loads the single package in dir — type-checked under asPath
+// when non-empty — and applies the full analyzer suite to it in
+// isolation (the package is its own whole program). This is the fixture
+// entry point: a deliberately-broken testdata package can be checked
+// under an in-scope import path (say rbcast/internal/udp) so the
+// path-scoped analyzers are in jurisdiction, which is how CI proves the
+// suite still produces findings at all.
+func RunDir(dir, asPath string) ([]Diagnostic, *token.FileSet, string, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	pkg, err := loader.Load(dir, asPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	diags, err := RunPackage(loader, pkg, Analyzers())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return diags, loader.Fset, loader.ModRoot, nil
 }
 
 // Print writes diagnostics in the conventional file:line:col format.

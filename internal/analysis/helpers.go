@@ -25,11 +25,18 @@ func pkgInScope(path string, scope []string) bool {
 
 // calleeObject resolves the called function/method, or nil.
 func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	return calleeObjectInfo(pass.TypesInfo, call)
+}
+
+// calleeObjectInfo is calleeObject for code outside the pass package
+// (whole-program analyses resolve callees in whichever package a
+// function node lives).
+func calleeObjectInfo(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pass.TypesInfo.Uses[fun]
+		return info.Uses[fun]
 	case *ast.SelectorExpr:
-		return pass.TypesInfo.Uses[fun.Sel]
+		return info.Uses[fun.Sel]
 	}
 	return nil
 }
@@ -89,6 +96,11 @@ func calleeDecl(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.Call
 // order, with the receiver first for methods (so summary indices line up
 // with callArgExprs). Unnamed or blank parameters yield nil entries.
 func funcParamObjs(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	return funcParamObjsInfo(pass.TypesInfo, fd)
+}
+
+// funcParamObjsInfo is funcParamObjs against an explicit *types.Info.
+func funcParamObjsInfo(info *types.Info, fd *ast.FuncDecl) []types.Object {
 	var out []types.Object
 	addField := func(f *ast.Field) {
 		if len(f.Names) == 0 {
@@ -100,7 +112,7 @@ func funcParamObjs(pass *Pass, fd *ast.FuncDecl) []types.Object {
 				out = append(out, nil)
 				continue
 			}
-			out = append(out, pass.TypesInfo.Defs[name])
+			out = append(out, info.Defs[name])
 		}
 	}
 	if fd.Recv != nil {

@@ -39,14 +39,10 @@ var LeakLint = &Analyzer{
 }
 
 func runLeakLint(pass *Pass) error {
-	if !pkgInScope(pass.Pkg.Path(), LeakPackages) {
+	if !pkgInScope(pass.Pkg.Path(), LeakPackages) || pass.Prog == nil {
 		return nil
 	}
-	lc := &leakChecker{
-		pass:      pass,
-		decls:     packageFuncDecls(pass),
-		exitCache: make(map[*ast.FuncDecl]bool),
-	}
+	lc := &leakChecker{pass: pass}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -58,9 +54,7 @@ func runLeakLint(pass *Pass) error {
 }
 
 type leakChecker struct {
-	pass      *Pass
-	decls     map[types.Object]*ast.FuncDecl
-	exitCache map[*ast.FuncDecl]bool
+	pass *Pass
 }
 
 // checkFuncBody analyzes one function body and, recursively, every
@@ -111,15 +105,17 @@ func (lc *leakChecker) checkGoroutine(g *ast.GoStmt) {
 	case *ast.FuncLit:
 		body = fun.Body
 	default:
-		// One-level resolution of same-package named functions/methods.
-		if fd := calleeDecl(lc.pass, lc.decls, g.Call); fd != nil && fd.Body != nil {
-			if lc.declHasExit(fd) {
-				return
+		// Resolve named functions and methods through the call graph —
+		// whole-program, so a goroutine spawned onto another package's
+		// function is checked the same as a local one.
+		if fn, ok := calleeObjectInfo(lc.pass.TypesInfo, g.Call).(*types.Func); ok {
+			node := lc.pass.Prog.Graph.NodeOf(fn)
+			if node != nil && node.Body != nil && !lc.pass.Prog.nodeHasExit(node) {
+				lc.pass.Reportf(g.Pos(),
+					"goroutine runs %s, which has no reachable exit path: it cannot be stopped "+
+						"(add a stop channel case, a return, or range over a closable channel)",
+					node.Name)
 			}
-			lc.pass.Reportf(g.Pos(),
-				"goroutine runs %s, which has no reachable exit path: it cannot be stopped "+
-					"(add a stop channel case, a return, or range over a closable channel)",
-				fd.Name.Name)
 		}
 		return
 	}
@@ -130,12 +126,14 @@ func (lc *leakChecker) checkGoroutine(g *ast.GoStmt) {
 	}
 }
 
-func (lc *leakChecker) declHasExit(fd *ast.FuncDecl) bool {
-	if has, ok := lc.exitCache[fd]; ok {
+// nodeHasExit reports (memoized on the Program) whether n's body has a
+// reachable terminating path.
+func (p *Program) nodeHasExit(n *FuncNode) bool {
+	if has, ok := p.exitCache[n]; ok {
 		return has
 	}
-	has := hasReachableExit(buildCFG(fd.Name.Name, fd.Body))
-	lc.exitCache[fd] = has
+	has := hasReachableExit(buildCFG(n.Name, n.Body))
+	p.exitCache[n] = has
 	return has
 }
 

@@ -1,0 +1,404 @@
+package analysis
+
+// lockflow.go — the interprocedural lock model shared by sharelint and
+// ordlint.
+//
+// Three layers:
+//
+//   - lock classes: every mutex the program acquires is named by a
+//     canonical class string — "pkg/path.Type.field" for mutexes stored
+//     in struct fields (instance-blind: every Host.mu is one class),
+//     "pkg/path.var" for package-level mutexes, and an owner-qualified
+//     position for function-local ones;
+//   - walkLocks: a statement-ordered walk of one function body that
+//     maintains the set of classes held (relative to function entry,
+//     with locklint's semantics: branch bodies see a copy, a deferred
+//     Unlock keeps the class held, nested function literals are not
+//     entered) and shows every node to a visitor together with that set;
+//   - whole-program facts on Program: lockSummaryOf gives the classes a
+//     function may transitively acquire (with a witness call chain), and
+//     entryHeldOf gives the classes guaranteed held whenever a function
+//     is entered — a must-analysis intersection over all non-spawn
+//     callers, which is what makes the `fooLocked` helper idiom legible
+//     to the analyzers.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// lockSummary is the bottom-up memoized lock behaviour of one function:
+// every class it may acquire, directly or through (non-spawn) callees.
+type lockSummary struct {
+	acquires map[string]*acqWitness
+}
+
+// acqWitness records one concrete acquisition justifying a summary
+// entry: the Lock call position and the call chain leading to it.
+type acqWitness struct {
+	pos   token.Pos
+	chain []string // function display names, outermost first
+}
+
+// mutexSelector matches X.Lock / X.RLock / X.Unlock / X.RUnlock where
+// the method belongs to sync.Mutex or sync.RWMutex, returning the
+// receiver expression X and whether the call acquires.
+func mutexSelector(info *types.Info, call *ast.CallExpr) (x ast.Expr, locks, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false, false
+	}
+	switch recvTypeName(recv.Type()) {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return sel.X, true, true
+	case "Unlock", "RUnlock":
+		return sel.X, false, true
+	}
+	return nil, false, false
+}
+
+// lockClass renders the canonical class of the mutex expression x.
+// owner qualifies function-local mutexes so distinct locals stay
+// distinct classes.
+func (p *Program) lockClass(pkg *Package, owner string, x ast.Expr) string {
+	info := pkg.TypesInfo
+	x = ast.Unparen(x)
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		// A mutex stored in a struct field: class by owning type, so
+		// t.mu and f.Transport.mu name the same lock class.
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+		// Qualified package-level mutex: pkg.Mu.
+		if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && isPackageLevelVar(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			if isPackageLevelVar(obj) {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			pos := p.Fset.Position(obj.Pos())
+			return fmt.Sprintf("%s.%s@%s:%d", owner, obj.Name(), filepath.Base(pos.Filename), pos.Line)
+		}
+	}
+	// An embedded mutex locked through its carrier (h.Lock() where the
+	// carrier type embeds sync.Mutex): class by the carrier's named type.
+	if tv, ok := info.Types[x]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	return owner + "." + types.ExprString(x)
+}
+
+func isPackageLevelVar(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// lockEventClass classifies a call inside node n as a lock event,
+// returning the canonical class.
+func (p *Program) lockEventClass(n *FuncNode, call *ast.CallExpr) (class string, locks, ok bool) {
+	x, locks, ok := mutexSelector(n.Pkg.TypesInfo, call)
+	if !ok {
+		return "", false, false
+	}
+	return p.lockClass(n.Pkg, n.EnclosingDecl().Name, x), locks, true
+}
+
+// walkLocks walks n's body in statement order, maintaining the set of
+// lock classes held relative to function entry, and calls visit on
+// every AST node with the set as it stands when the node executes.
+// Nested function literals are shown as expressions but their bodies
+// are not entered (each literal is its own graph node and is walked on
+// its own). Lock events are applied after the statement carrying them
+// is visited, so an acquisition site sees the held-set *before* it.
+func (p *Program) walkLocks(n *FuncNode, visit func(node ast.Node, held map[string]bool)) {
+	w := &lockWalker{prog: p, node: n, visit: visit}
+	w.stmts(n.Body.List, map[string]bool{})
+}
+
+type lockWalker struct {
+	prog  *Program
+	node  *FuncNode
+	visit func(ast.Node, map[string]bool)
+}
+
+// visitTree shows every node of a one-held-set subtree to the visitor,
+// cutting off at nested function literal bodies.
+func (w *lockWalker) visitTree(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if lit, ok := x.(*ast.FuncLit); ok && x != n {
+			w.visit(lit, held)
+			return false
+		}
+		w.visit(x, held)
+		return true
+	})
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.visitTree(s, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if class, locks, ok := w.prog.lockEventClass(w.node, call); ok {
+				if locks {
+					held[class] = true
+				} else {
+					delete(held, class)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// Visited with the registration-time held set; a deferred Unlock
+		// keeps the class held for the rest of the walk (locklint's
+		// critical-section semantics).
+		w.visitTree(s, held)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.visitTree(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.visitTree(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.visitTree(s.X, held)
+		if s.Key != nil {
+			w.visitTree(s.Key, held)
+		}
+		if s.Value != nil {
+			w.visitTree(s.Value, held)
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.visitTree(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.visitTree(e, held)
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.visitTree(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := copyHeld(held)
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, branch)
+				}
+				w.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case nil:
+	default:
+		// Simple statements (assign, go, send, return, incdec, decl,
+		// branch, empty): one held set covers the whole subtree.
+		w.visitTree(s, held)
+	}
+}
+
+// lockSummaryOf computes (memoized, cycle-guarded) the transitive
+// acquisition summary of n. Spawn edges are excluded: what a spawned
+// goroutine locks is its own business, not its spawner's.
+func (p *Program) lockSummaryOf(n *FuncNode) *lockSummary {
+	if s, ok := p.lockSummaries[n]; ok {
+		return s
+	}
+	if p.lockInProgress[n] {
+		return &lockSummary{acquires: map[string]*acqWitness{}}
+	}
+	p.lockInProgress[n] = true
+	s := &lockSummary{acquires: make(map[string]*acqWitness)}
+	p.walkLocks(n, func(node ast.Node, held map[string]bool) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if class, locks, ok := p.lockEventClass(n, call); ok && locks {
+			if _, have := s.acquires[class]; !have {
+				s.acquires[class] = &acqWitness{pos: call.Pos(), chain: []string{n.Name}}
+			}
+		}
+	})
+	for _, e := range n.Out {
+		if e.Kind == EdgeGo {
+			continue
+		}
+		for class, w := range p.lockSummaryOf(e.Callee).acquires {
+			if _, have := s.acquires[class]; !have {
+				s.acquires[class] = &acqWitness{pos: w.pos, chain: append([]string{n.Name}, w.chain...)}
+			}
+		}
+	}
+	delete(p.lockInProgress, n)
+	p.lockSummaries[n] = s
+	return s
+}
+
+// entryHeldOf returns the set of lock classes guaranteed to be held
+// whenever n is entered: the intersection, over every incoming edge, of
+// the caller's entry set united with the classes held at the call site.
+// Spawn edges contribute the empty set (a fresh goroutine holds
+// nothing), as do entry points with no callers.
+func (p *Program) entryHeldOf(n *FuncNode) map[string]bool {
+	p.ensureEntryHeld()
+	return p.entryHeld[n]
+}
+
+func (p *Program) ensureEntryHeld() {
+	if p.entryHeld != nil {
+		return
+	}
+	p.entryHeld = make(map[*FuncNode]map[string]bool, len(p.Graph.Nodes))
+
+	// Held set at every call site, per caller, plus the class universe.
+	siteHeld := make(map[*FuncNode]map[*ast.CallExpr]map[string]bool, len(p.Graph.Nodes))
+	universe := make(map[string]bool)
+	for _, n := range p.Graph.Nodes {
+		m := make(map[*ast.CallExpr]map[string]bool)
+		p.walkLocks(n, func(node ast.Node, held map[string]bool) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if len(held) > 0 {
+				if _, have := m[call]; !have {
+					m[call] = copyHeld(held)
+				}
+			}
+			if class, locks, ok := p.lockEventClass(n, call); ok && locks {
+				universe[class] = true
+			}
+		})
+		siteHeld[n] = m
+	}
+
+	// Must-analysis fixpoint: start callable nodes at the full universe
+	// and intersect downwards until stable.
+	for _, n := range p.Graph.Nodes {
+		if len(n.In) == 0 {
+			p.entryHeld[n] = map[string]bool{}
+		} else {
+			p.entryHeld[n] = copyHeld(universe)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.Graph.Nodes {
+			if len(n.In) == 0 {
+				continue
+			}
+			var inter map[string]bool
+			for _, e := range n.In {
+				var edgeHeld map[string]bool
+				if e.Kind == EdgeGo {
+					edgeHeld = map[string]bool{}
+				} else {
+					edgeHeld = copyHeld(p.entryHeld[e.Caller])
+					for class := range siteHeld[e.Caller][e.Site] {
+						edgeHeld[class] = true
+					}
+				}
+				if inter == nil {
+					inter = edgeHeld
+				} else {
+					for class := range inter {
+						if !edgeHeld[class] {
+							delete(inter, class)
+						}
+					}
+				}
+			}
+			if len(inter) != len(p.entryHeld[n]) {
+				p.entryHeld[n] = inter
+				changed = true
+			}
+		}
+	}
+}
+
+// unionHeld merges the walk-local held set with a function's entry set.
+func unionHeld(entry, local map[string]bool) map[string]bool {
+	if len(entry) == 0 {
+		return local
+	}
+	out := copyHeld(entry)
+	for class := range local {
+		out[class] = true
+	}
+	return out
+}

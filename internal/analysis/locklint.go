@@ -215,38 +215,14 @@ func lockWalkExpr(pass *Pass, e ast.Expr, held map[string]bool) {
 // method belongs to sync.Mutex or sync.RWMutex. It returns the held-set
 // key for X and whether the call acquires (true) or releases (false).
 func mutexEvent(pass *Pass, call *ast.CallExpr) (key string, locks, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
+	x, locks, ok := mutexSelector(pass.TypesInfo, call)
+	if !ok {
 		return "", false, false
 	}
-	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", false, false
-	}
-	recv := fn.Type().(*types.Signature).Recv()
-	if recv == nil {
-		return "", false, false
-	}
-	rt := recv.Type()
-	if p, isPtr := rt.(*types.Pointer); isPtr {
-		rt = p.Elem()
-	}
-	named, isNamed := rt.(*types.Named)
-	if !isNamed {
-		return "", false, false
-	}
-	switch named.Obj().Name() {
-	case "Mutex", "RWMutex":
-	default:
-		return "", false, false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return types.ExprString(sel.X), true, true
-	case "Unlock", "RUnlock":
-		return types.ExprString(sel.X), false, true
-	}
-	return "", false, false
+	// locklint keys held sets by receiver spelling (intraprocedural, so
+	// `t.mu` is unambiguous); the whole-program analyzers canonicalize
+	// the same selector to a lock class via Program.lockClass.
+	return types.ExprString(x), locks, true
 }
 
 // checkBlockingCall flags calls that can block while a mutex is held.

@@ -245,35 +245,21 @@ func checkPruneGuard(pass *Pass, fd *ast.FuncDecl, writes []ast.Node) {
 		})
 		return found
 	}
-	isGuardBlock := func(blk *Block) bool {
-		for _, n := range blk.Nodes {
-			if nodeReadsGuard(n) {
-				return true
-			}
-		}
-		return false
-	}
-
 	for _, w := range writes {
-		blk, idx := findNodeBlock(cfg, w)
+		useCFG := cfg
+		blk, idx := findNodeBlock(useCFG, w)
 		if blk == nil {
-			continue // write inside a nested function literal: out of CFG view
-		}
-		// A guard earlier in the same block dominates the write trivially.
-		guarded := false
-		for _, n := range blk.Nodes[:idx] {
-			if nodeReadsGuard(n) {
-				guarded = true
-				break
+			// The write sits inside a nested function literal; the
+			// dominance question then lives in the literal's own CFG.
+			if lit := enclosingFuncLit(fd.Body, w); lit != nil {
+				useCFG = buildCFG(fd.Name.Name+"$lit", lit.Body)
+				blk, idx = findNodeBlock(useCFG, w)
 			}
 		}
-		if guarded {
+		if blk == nil {
 			continue
 		}
-		reached := reachableFrom([]*Block{cfg.Entry()}, func(b *Block) bool {
-			return b != blk && isGuardBlock(b)
-		})
-		if reached[blk] {
+		if !pathDominates(useCFG, blk, idx, nodeReadsGuard) {
 			pass.Reportf(w.Pos(),
 				"write to Host.prunedTo is not dominated by a monotonicity comparison on prunedTo: "+
 					"an unguarded write can move the §6 prune floor backwards")
@@ -281,14 +267,15 @@ func checkPruneGuard(pass *Pass, fd *ast.FuncDecl, writes []ast.Node) {
 	}
 }
 
-// findNodeBlock locates the block and node index holding n.
-func findNodeBlock(cfg *CFG, n ast.Node) (*Block, int) {
-	for _, blk := range cfg.Blocks {
-		for i, node := range blk.Nodes {
-			if node == n {
-				return blk, i
-			}
+// enclosingFuncLit returns the innermost function literal in body whose
+// range contains n, or nil.
+func enclosingFuncLit(body *ast.BlockStmt, n ast.Node) *ast.FuncLit {
+	var found *ast.FuncLit
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit.Pos() <= n.Pos() && n.End() <= lit.End() {
+			found = lit // keep descending: innermost wins
 		}
-	}
-	return nil, -1
+		return true
+	})
+	return found
 }

@@ -34,9 +34,10 @@ var TaintPackages = []string{
 // (Message, Frame, Envelope). A comparison mentioning a tainted variable
 // sanitizes it on both branches (the analysis cannot tell a correct
 // bound from an inverted one; requiring *a* bound is the useful
-// invariant). Same-package callees get a one-level summary so a tainted
-// argument flowing to a sink inside the callee is reported at the call
-// site.
+// invariant). Callees resolve through the whole-program call graph with
+// bottom-up memoized summaries, so a tainted argument threaded through
+// any depth of (possibly cross-package) calls to a sink is reported at
+// the outermost call site.
 var TaintLint = &Analyzer{
 	Name: "taintlint",
 	Doc: "decoded wire values must pass a bounds check before reaching make, " +
@@ -63,74 +64,75 @@ var taintParamTypes = map[string]bool{
 }
 
 func runTaintLint(pass *Pass) error {
-	if !pkgInScope(pass.Pkg.Path(), TaintPackages) {
+	if !pkgInScope(pass.Pkg.Path(), TaintPackages) || pass.Prog == nil {
 		return nil
-	}
-	tc := &taintChecker{
-		pass:       pass,
-		decls:      packageFuncDecls(pass),
-		summaries:  make(map[*ast.FuncDecl]*taintSummary),
-		inProgress: make(map[*ast.FuncDecl]bool),
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				tc.checkFunc(fd)
+				checkTaintRoot(pass, fd)
 			}
 		}
 	}
 	return nil
 }
 
-type taintChecker struct {
-	pass       *Pass
-	decls      map[types.Object]*ast.FuncDecl
-	summaries  map[*ast.FuncDecl]*taintSummary
-	inProgress map[*ast.FuncDecl]bool
-}
-
-// A taintSummary is the one-level dataflow abstract of a same-package
-// function: which parameters reach capacity sinks unchecked, and which
-// taint a return value.
+// A taintSummary is the dataflow abstract of one function over its full
+// transitive call tree: which parameters reach capacity sinks unchecked,
+// and which taint a return value.
 type taintSummary struct {
 	paramSinks   map[int][]string
 	paramReturns map[int]bool
 }
 
-// checkFunc analyzes one function as a root: its own sources (decode
-// calls, binary reads, network-typed parameters) flow to its sinks.
-func (tc *taintChecker) checkFunc(fd *ast.FuncDecl) {
+// checkTaintRoot analyzes one function as a root: its own sources
+// (decode calls, binary reads, network-typed parameters) flow to its
+// sinks, directly or through callee summaries.
+func checkTaintRoot(pass *Pass, fd *ast.FuncDecl) {
 	entry := make(factSet)
-	for _, obj := range funcParamObjs(tc.pass, fd) {
+	for _, obj := range funcParamObjs(pass, fd) {
 		if obj != nil && taintedParamType(obj.Type()) {
 			entry[obj] = taintVal{pos: obj.Pos(), param: -1}
 		}
 	}
-	run := &taintRun{tc: tc}
+	run := &taintRun{
+		prog:    pass.Prog,
+		info:    pass.TypesInfo,
+		pkg:     pass.Pkg,
+		fset:    pass.Fset,
+		reportf: pass.Reportf,
+	}
 	run.analyze(fd.Name.Name, fd.Body, entry)
 }
 
-// summaryOf computes (memoized) the one-level summary of fd. Inside a
-// summary, nested same-package calls are treated shallowly — summaries
-// do not recurse.
-func (tc *taintChecker) summaryOf(fd *ast.FuncDecl) *taintSummary {
-	if sum, ok := tc.summaries[fd]; ok {
-		return sum
-	}
-	if tc.inProgress[fd] || fd.Body == nil {
+// taintSummaryOf computes (memoized on the Program, cycle-guarded) the
+// summary of node n. Summaries recurse through the call graph — a count
+// threaded three calls deep to a make is still charged to the outermost
+// call site — and cross package boundaries, since every node carries
+// its own package's type information. Recursive cycles return nil,
+// degrading that edge to the tainted-in-tainted-out default.
+func (p *Program) taintSummaryOf(n *FuncNode) *taintSummary {
+	if n == nil || n.Decl == nil || n.Decl.Body == nil {
 		return nil
 	}
-	tc.inProgress[fd] = true
-	defer delete(tc.inProgress, fd)
+	if sum, ok := p.taintSummaries[n]; ok {
+		return sum
+	}
+	if p.taintInProgress[n] {
+		return nil
+	}
+	p.taintInProgress[n] = true
+	defer delete(p.taintInProgress, n)
 
+	info := n.Pkg.TypesInfo
 	entry := make(factSet)
-	for i, obj := range funcParamObjs(tc.pass, fd) {
+	for i, obj := range funcParamObjsInfo(info, n.Decl) {
 		if obj == nil {
 			continue
 		}
-		// Network-typed parameters are tainted when fd itself is analyzed
-		// as a root; attributing their sinks to the caller too would
-		// double-report. Track them as plain sources here.
+		// Network-typed parameters are tainted when the function itself is
+		// analyzed as a root; attributing their sinks to the caller too
+		// would double-report. Track them as plain sources here.
 		if taintedParamType(obj.Type()) {
 			entry[obj] = taintVal{pos: obj.Pos(), param: -1}
 		} else {
@@ -141,22 +143,26 @@ func (tc *taintChecker) summaryOf(fd *ast.FuncDecl) *taintSummary {
 		paramSinks:   make(map[int][]string),
 		paramReturns: make(map[int]bool),
 	}
-	run := &taintRun{tc: tc, shallow: true, summary: sum}
-	run.analyze(fd.Name.Name, fd.Body, entry)
-	tc.summaries[fd] = sum
+	run := &taintRun{prog: p, info: info, pkg: n.Pkg.Types, fset: p.Fset, summary: sum}
+	run.analyze(n.Name, n.Decl.Body, entry)
+	p.taintSummaries[n] = sum
 	return sum
 }
 
 // A taintRun is one dataflow execution: fixpoint first, then a reporting
-// walk over the stabilized entry facts.
+// walk over the stabilized entry facts. It is bound to the package of
+// the function under analysis (info/pkg), which for callee summaries
+// need not be the pass package.
 type taintRun struct {
-	tc *taintChecker
-	// shallow disables call summaries (used while computing a summary, to
-	// keep summaries one level deep and recursion-free).
-	shallow bool
+	prog *Program
+	info *types.Info
+	pkg  *types.Package
+	fset *token.FileSet
 	// summary, when non-nil, receives sink hits attributable to
 	// parameters instead of emitting diagnostics.
 	summary *taintSummary
+	// reportf emits root diagnostics; nil in summary mode.
+	reportf func(token.Pos, string, ...any)
 	// report gates sink checking: off during fixpoint iteration.
 	report bool
 }
@@ -279,10 +285,10 @@ func (run *taintRun) identObj(e ast.Expr) types.Object {
 	if !ok {
 		return nil
 	}
-	if obj := run.tc.pass.TypesInfo.Defs[id]; obj != nil {
+	if obj := run.info.Defs[id]; obj != nil {
 		return obj
 	}
-	return run.tc.pass.TypesInfo.Uses[id]
+	return run.info.Uses[id]
 }
 
 // rootExpr peels selectors, indexes, slices, stars, and parens down to
@@ -323,7 +329,7 @@ func (run *taintRun) applyKills(n ast.Node, f factSet) factSet {
 		for _, side := range []ast.Expr{be.X, be.Y} {
 			ast.Inspect(side, func(y ast.Node) bool {
 				if id, ok := y.(*ast.Ident); ok {
-					if obj := run.tc.pass.TypesInfo.Uses[id]; obj != nil {
+					if obj := run.info.Uses[id]; obj != nil {
 						delete(f, obj)
 					}
 				}
@@ -347,7 +353,7 @@ func isComparisonOp(op token.Token) bool {
 func (run *taintRun) exprTaint(e ast.Expr, f factSet) (taintVal, bool) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		if obj := run.tc.pass.TypesInfo.Uses[e]; obj != nil {
+		if obj := run.info.Uses[e]; obj != nil {
 			if v, ok := f[obj]; ok {
 				return v, true
 			}
@@ -401,9 +407,8 @@ func (run *taintRun) exprTaint(e ast.Expr, f factSet) (taintVal, bool) {
 }
 
 func (run *taintRun) callTaint(call *ast.CallExpr, f factSet) (taintVal, bool) {
-	pass := run.tc.pass
 	// Conversions propagate: uint32(n) is as tainted as n.
-	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+	if tv, ok := run.info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
 		if len(call.Args) == 1 {
 			return run.exprTaint(call.Args[0], f)
 		}
@@ -412,7 +417,7 @@ func (run *taintRun) callTaint(call *ast.CallExpr, f factSet) (taintVal, bool) {
 	if pos, ok := run.sourceCall(call); ok {
 		return taintVal{pos: pos, param: -1}, true
 	}
-	if b, ok := calleeObject(pass, call).(*types.Builtin); ok {
+	if b, ok := calleeObjectInfo(run.info, call).(*types.Builtin); ok {
 		switch b.Name() {
 		case "append":
 			for _, arg := range call.Args {
@@ -425,9 +430,9 @@ func (run *taintRun) callTaint(call *ast.CallExpr, f factSet) (taintVal, bool) {
 		// rest allocate fresh or return nothing useful.
 		return taintVal{}, false
 	}
-	if fd := calleeDecl(pass, run.tc.decls, call); fd != nil && !run.shallow {
-		if sum := run.tc.summaryOf(fd); sum != nil {
-			for i, arg := range callArgExprs(call, fd) {
+	if node := run.calleeNode(call); node != nil {
+		if sum := run.prog.taintSummaryOf(node); sum != nil {
+			for i, arg := range callArgExprs(call, node.Decl) {
 				if arg == nil {
 					continue
 				}
@@ -452,10 +457,24 @@ func (run *taintRun) callTaint(call *ast.CallExpr, f factSet) (taintVal, bool) {
 	return taintVal{}, false
 }
 
+// calleeNode resolves a call to its call-graph node when the callee is
+// a statically known function with a body in the program.
+func (run *taintRun) calleeNode(call *ast.CallExpr) *FuncNode {
+	fn, ok := calleeObjectInfo(run.info, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	node := run.prog.Graph.NodeOf(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	return node
+}
+
 // sourceCall matches the taint sources: encoding/binary integer reads
 // and the module's decode entry points.
 func (run *taintRun) sourceCall(call *ast.CallExpr) (token.Pos, bool) {
-	fn, ok := calleeObject(run.tc.pass, call).(*types.Func)
+	fn, ok := calleeObjectInfo(run.info, call).(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return token.NoPos, false
 	}
@@ -466,7 +485,7 @@ func (run *taintRun) sourceCall(call *ast.CallExpr) (token.Pos, bool) {
 		}
 	}
 	if taintDecodeNames[fn.Name()] &&
-		(fn.Pkg() == run.tc.pass.Pkg || strings.HasPrefix(fn.Pkg().Path(), "rbcast/")) {
+		(fn.Pkg() == run.pkg || strings.HasPrefix(fn.Pkg().Path(), "rbcast/")) {
 		return call.Pos(), true
 	}
 	return token.NoPos, false
@@ -495,7 +514,7 @@ func (run *taintRun) checkSinks(n ast.Node, f factSet) {
 		case *ast.CallExpr:
 			run.checkCallSinks(x, f)
 		case *ast.IndexExpr:
-			if isSliceOrArray(run.tc.pass, x.X) {
+			if isSliceOrArray(run.info, x.X) {
 				if v, ok := run.exprTaint(x.Index, f); ok {
 					run.reportSink(x.Index.Pos(), "a slice index", v)
 				}
@@ -515,9 +534,8 @@ func (run *taintRun) checkSinks(n ast.Node, f factSet) {
 }
 
 func (run *taintRun) checkCallSinks(call *ast.CallExpr, f factSet) {
-	pass := run.tc.pass
 	if name, ok := calleeName(call); ok && taintSinkCalls[name] {
-		if obj := calleeObject(pass, call); obj == nil || !isTypeConversion(pass, call) {
+		if obj := calleeObjectInfo(run.info, call); obj == nil || !isTypeConversion(run.info, call) {
 			for _, arg := range call.Args {
 				if v, ok := run.exprTaint(arg, f); ok {
 					run.reportSink(arg.Pos(), fmt.Sprintf("%s (O(value) cost)", name), v)
@@ -526,7 +544,7 @@ func (run *taintRun) checkCallSinks(call *ast.CallExpr, f factSet) {
 			}
 		}
 	}
-	if b, ok := calleeObject(pass, call).(*types.Builtin); ok && b.Name() == "make" {
+	if b, ok := calleeObjectInfo(run.info, call).(*types.Builtin); ok && b.Name() == "make" {
 		for _, arg := range call.Args[1:] {
 			if v, ok := run.exprTaint(arg, f); ok {
 				run.reportSink(arg.Pos(), "a make size/capacity", v)
@@ -534,9 +552,9 @@ func (run *taintRun) checkCallSinks(call *ast.CallExpr, f factSet) {
 		}
 		return
 	}
-	if fd := calleeDecl(pass, run.tc.decls, call); fd != nil && !run.shallow {
-		if sum := run.tc.summaryOf(fd); sum != nil {
-			for i, arg := range callArgExprs(call, fd) {
+	if node := run.calleeNode(call); node != nil {
+		if sum := run.prog.taintSummaryOf(node); sum != nil {
+			for i, arg := range callArgExprs(call, node.Decl) {
 				if arg == nil {
 					continue
 				}
@@ -545,20 +563,20 @@ func (run *taintRun) checkCallSinks(call *ast.CallExpr, f factSet) {
 					continue
 				}
 				for _, desc := range sum.paramSinks[i] {
-					run.reportSink(call.Pos(), fmt.Sprintf("%s inside %s", desc, fd.Name.Name), v)
+					run.reportSink(call.Pos(), fmt.Sprintf("%s inside %s", desc, node.Name), v)
 				}
 			}
 		}
 	}
 }
 
-func isTypeConversion(pass *Pass, call *ast.CallExpr) bool {
-	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
 	return ok && tv.IsType()
 }
 
-func isSliceOrArray(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func isSliceOrArray(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -580,8 +598,11 @@ func (run *taintRun) reportSink(pos token.Pos, what string, v taintVal) {
 		}
 		return
 	}
-	src := run.tc.pass.Fset.Position(v.pos)
-	run.tc.pass.Reportf(pos,
+	if run.reportf == nil {
+		return
+	}
+	src := run.fset.Position(v.pos)
+	run.reportf(pos,
 		"attacker-controlled wire value flows into %s without an intervening bounds check "+
 			"(tainted at line %d): a forged frame can spend unbounded time or memory",
 		what, src.Line)

@@ -1,0 +1,85 @@
+// Package alloc is alloclint's testdata: one deliberately
+// allocation-heavy hot function covering every flagged construct class,
+// a transitive callee pulled into a marked tree, the append-reuse
+// discipline that passes, and the error/panic cold-path exemptions.
+// alloclint is directive-driven, so no assumed import path is needed.
+package alloc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+type enc struct{ buf []byte }
+
+type sink interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+func eat(v any) { _ = v }
+
+func work() {}
+
+//rblint:hotpath deliberately allocation-heavy: every construct class is flagged
+func hotBad(n int, a, b string, i sink) {
+	s := make([]int, n) // want `make allocates; preallocate and reuse`
+	s = append(s, 1)    // want `append to a freshly made or unknown buffer may grow and allocate`
+	p := new(enc)       // want `new allocates; reuse pooled or caller-owned storage`
+	_ = p
+	v := []int{1} // want `slice literal allocates`
+	_ = v
+	e := &enc{} // want `&composite literal escapes to the heap`
+	_ = e
+	m := map[string]int{} // want `map literal allocates`
+	m["k"] = 1            // want `map assignment may allocate or rehash`
+	for k := range m {    // want `map iteration in a hot path`
+		_ = k
+	}
+	c := a + b // want `string concatenation allocates`
+	_ = c
+	f := func() {} // want `function literal allocates its closure`
+	f()            // want `call through a function value cannot be proven allocation-free`
+	go work()      // want `goroutine spawn allocates a new stack`
+	eat(n)         // want `argument boxes a concrete int into an interface, which allocates`
+	i.M()          // want `interface method call M cannot be proven allocation-free`
+	fmt.Println(s) // want `call to fmt\.Println is outside the allocation-free allowlist`
+}
+
+// helper is unmarked, but hotCaller's directive pulls its body into the
+// checked tree; the finding names the root and the chain.
+func helper() []byte {
+	return make([]byte, 8) // want `hot path alloc\.hotCaller \(via alloc\.helper\): make allocates`
+}
+
+//rblint:hotpath the transitive static call tree is checked, not just the marked body
+func hotCaller() []byte {
+	return helper()
+}
+
+//rblint:hotpath reuse discipline: append only to caller- or field-rooted storage
+func hotAppend(e *enc, vals []uint32) {
+	out := e.buf[:0]
+	for _, v := range vals {
+		out = append(out, byte(v))
+	}
+	e.buf = out
+}
+
+//rblint:hotpath error returns and panic arguments are cold by contract
+func hotEncode(dst []byte, v uint32) ([]byte, error) {
+	if v == 0 {
+		return nil, fmt.Errorf("hotEncode: zero value") // exempt: error path
+	}
+	if len(dst) > 1<<20 {
+		panic(fmt.Sprintf("hotEncode: dst %d bytes", len(dst))) // exempt: panic argument
+	}
+	return binary.BigEndian.AppendUint32(dst, v), nil
+}
+
+// coldAlloc allocates freely: no directive, and nothing marked reaches
+// it, so nothing is flagged.
+func coldAlloc() map[string]int {
+	return map[string]int{"a": 1}
+}

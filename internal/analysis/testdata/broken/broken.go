@@ -1,0 +1,51 @@
+// Package broken is the deliberately-broken concurrency fixture behind
+// `make lint-selftest`: an unguarded cross-goroutine write, a two-lock
+// ordering cycle, and an allocating //rblint:hotpath function. CI runs
+// rblint over this package (checked as rbcast/internal/udp, so the
+// path-scoped analyzers are in jurisdiction) and fails unless
+// sharelint, ordlint, and alloclint all produce findings — a selftest
+// that the analyzers still bite after refactors.
+package broken
+
+import "sync"
+
+type state struct {
+	a   sync.Mutex
+	b   sync.Mutex
+	n   int
+	buf []byte
+}
+
+// loop runs in its own goroutine and writes n; poll reads it with no
+// lock on either side: sharelint's data-race shape.
+func (s *state) loop() {
+	for {
+		s.n++
+	}
+}
+
+func poll(s *state) int {
+	go s.loop()
+	return s.n
+}
+
+// ab and ba acquire the two mutexes in opposite orders: ordlint's
+// deadlock cycle.
+func (s *state) ab() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *state) ba() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+//rblint:hotpath selftest bait: the directive promises what the body breaks
+func (s *state) grow() {
+	s.buf = make([]byte, 64)
+}

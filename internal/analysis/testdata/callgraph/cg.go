@@ -1,0 +1,42 @@
+// Package cg is the call-graph builder's golden fixture: static calls,
+// a closure passed to go, a deferred call, a method value invoked
+// through a variable, an interface call resolved by class hierarchy
+// analysis, and a time.AfterFunc callback. The golden test pins the
+// exact edge list String() renders.
+package cg
+
+import "time"
+
+type T struct{ n int }
+
+func (t *T) M() { t.n++ }
+
+func Static() { helper() }
+
+func helper() {}
+
+func SpawnClosure() {
+	x := 0
+	go func() {
+		x++
+		helper()
+	}()
+	_ = x
+}
+
+func DeferCall() {
+	defer helper()
+}
+
+func MethodValue(t *T) {
+	f := t.M
+	f()
+}
+
+type I interface{ M() }
+
+func ViaInterface(i I) { i.M() }
+
+func AfterFuncCallback() {
+	time.AfterFunc(time.Second, func() { helper() })
+}

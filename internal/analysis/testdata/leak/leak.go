@@ -62,7 +62,7 @@ func runForever() {
 }
 
 func goNamedUnstoppable() {
-	go runForever() // want `goroutine runs runForever, which has no reachable exit path`
+	go runForever() // want `goroutine runs leak.runForever, which has no reachable exit path`
 }
 
 // tickerNoStop leaks: no Stop on the path to the exit.

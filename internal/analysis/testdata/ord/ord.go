@@ -1,0 +1,63 @@
+// Package ord is ordlint's testdata: a two-class lock-order cycle (one
+// side acquired through a helper, so the report carries a call chain),
+// a recursive self-acquisition, and a consistently ordered pair that
+// stays clean. Checked as rbcast/internal/live to land in ordlint's
+// scope.
+package ord
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// abOrder acquires A.mu then B.mu directly: one direction of the cycle.
+// The cycle diagnostic lands on this acquisition (the witness edge) and
+// names both chains.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle among \{rbcast/internal/live\.A\.mu, rbcast/internal/live\.B\.mu\}.*via ord\.baOrder -> ord\.lockA`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baOrder acquires B.mu, then A.mu through lockA: the opposite
+// direction, visible only through the bottom-up lock summaries.
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a)
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// relock takes the same class twice: sync mutexes are not reentrant.
+func (a *A) relock() {
+	a.mu.Lock()
+	a.mu.Lock() // want `lock rbcast/internal/live\.A\.mu is acquired while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// C/D are always taken in the same order from every path: acyclic,
+// clean.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func cdOne(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func cdTwo(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}

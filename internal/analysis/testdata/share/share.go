@@ -1,0 +1,111 @@
+// Package share is sharelint's testdata: struct-field and
+// package-level state reached from more than one goroutine, with and
+// without a common lock, plus every confinement exemption the analyzer
+// honors. Checked as rbcast/internal/udp to land in sharelint's scope.
+package share
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Server is spawn-shared: its methods are spawned below and closures
+// capturing it cross go statements.
+type Server struct {
+	mu    sync.Mutex
+	hits  int
+	n     int
+	ops   int64
+	inbox chan int
+	conf  Conf
+}
+
+// Conf rides inside Server, so it is spawn-shared too; value copies of
+// it are still exempt.
+type Conf struct{ N int }
+
+// countLoop runs in its own goroutine (spawned in raceRead) and bumps a
+// counter the spawner reads with no lock on either side.
+func (s *Server) countLoop() {
+	for {
+		s.hits++ // want `rbcast/internal/udp\.Server\.hits is written here and accessed at .* from a different goroutine .* with no common lock`
+	}
+}
+
+func raceRead(s *Server) int {
+	go s.countLoop()
+	return s.hits
+}
+
+// addLocked/guardedUse touch the same field from two goroutines, but
+// both hold Server.mu: one lock class on both sides. Clean.
+func (s *Server) addLocked(delta int) {
+	s.mu.Lock()
+	s.n += delta
+	s.mu.Unlock()
+}
+
+func guardedUse(s *Server) int {
+	go s.addLocked(1)
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// total is package-level state written by every instance of a goroutine
+// spawned in a loop: a self-conflict, no second access needed.
+var total int
+
+func spawnCounters() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++ // want `rbcast/internal/udp\.total is written by share\.spawnCounters\$1, which runs in multiple goroutines`
+		}()
+	}
+}
+
+// pump/drain communicate over a channel field: channel state is
+// confined by its own discipline. Clean.
+func (s *Server) pump() {
+	for {
+		s.inbox <- 1
+	}
+}
+
+func drain(s *Server) int {
+	go s.pump()
+	return <-s.inbox
+}
+
+// tick/atomicUse serialize through sync/atomic: clean.
+func (s *Server) tick() {
+	atomic.AddInt64(&s.ops, 1)
+}
+
+func atomicUse(s *Server) int64 {
+	go s.tick()
+	return atomic.LoadInt64(&s.ops)
+}
+
+// snapshotConf writes through a value-typed local: its own copy, not
+// shared memory. Clean.
+func (s *Server) snapshotConf() int {
+	c := s.conf
+	c.N++
+	return c.N
+}
+
+// scratch instances never cross a spawn boundary: each goroutine builds
+// its own, so the unguarded writes are confined wholesale. Clean.
+type scratch struct{ n int }
+
+func workers() {
+	for i := 0; i < 3; i++ {
+		go func() {
+			var sc scratch
+			sc.n++
+			_ = sc.n
+		}()
+	}
+}

@@ -1,0 +1,27 @@
+// Package shareclean reproduces sharelint's racy shapes but is checked
+// under its real testdata path: out of SharePackages' scope, so no
+// diagnostics are expected. This pins the scope gate itself.
+package shareclean
+
+type counter struct{ hits int }
+
+func (c *counter) loop() {
+	for {
+		c.hits++ // would be flagged in scope; exempt out of scope
+	}
+}
+
+func race(c *counter) int {
+	go c.loop()
+	return c.hits
+}
+
+var total int
+
+func spawners() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++
+		}()
+	}
+}

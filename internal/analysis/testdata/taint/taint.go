@@ -111,7 +111,7 @@ func overwriteLaunders(b []byte) []byte {
 	return make([]byte, n)
 }
 
-// allocHelper hides the sink one call deep; the one-level summary
+// allocHelper hides the sink one call deep; the callee summary
 // attributes it to the caller's argument.
 func allocHelper(n int) []byte {
 	return make([]byte, n)
@@ -119,7 +119,7 @@ func allocHelper(n int) []byte {
 
 func throughHelper(b []byte) []byte {
 	n := int(binary.BigEndian.Uint32(b))
-	return allocHelper(n) // want `flows into a make size/capacity inside allocHelper`
+	return allocHelper(n) // want `flows into a make size/capacity inside taint.allocHelper`
 }
 
 func throughHelperChecked(b []byte) []byte {

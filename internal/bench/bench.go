@@ -42,6 +42,7 @@ func Cases() []Case {
 		{"WireDecodeInfo", WireDecodeInfo},
 		{"WireCodecKinds", WireCodecKinds},
 		{"RBLintSuite", RBLintSuite},
+		{"CallGraph", CallGraph},
 	}
 }
 
@@ -296,9 +297,10 @@ func WireCodecKinds(b *testing.B) {
 }
 
 // RBLintSuite measures a full run of the static analysis suite — all
-// seven analyzers, CFG construction, and taint dataflow — over the
-// protocol state machine package. Loading and type-checking happen once
-// outside the timer; the loop measures pure analysis cost.
+// ten analyzers, CFG and call-graph construction, lock summaries, and
+// taint dataflow — over the protocol state machine package. Loading and
+// type-checking happen once outside the timer; the loop measures pure
+// analysis cost.
 func RBLintSuite(b *testing.B) {
 	b.ReportAllocs()
 	loader, err := analysis.NewLoader(".")
@@ -313,6 +315,31 @@ func RBLintSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := analysis.RunPackage(loader, pkg, analysis.Analyzers()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// CallGraph measures whole-program call-graph construction — node
+// discovery, static/go/defer edges, address-taken collection, and
+// CHA-style dynamic resolution — over every package in the module.
+// Loading and type-checking happen once outside the timer; the loop
+// measures pure graph-building cost, the fixed overhead every
+// whole-program analyzer pays per rblint run.
+func CallGraph(b *testing.B) {
+	b.ReportAllocs()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := analysis.NewProgram(loader.Fset, pkgs)
+		if p.Graph == nil || len(p.Graph.Nodes) == 0 {
+			b.Fatal("empty call graph")
 		}
 	}
 }

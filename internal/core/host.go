@@ -543,6 +543,12 @@ func (h *Host) handleInfo(now time.Duration, from HostID, m Message) {
 	if h.infoView != nil {
 		// A full set roots a fresh delta chain: later deltas merge into
 		// this view and are checked against the sender's checksum.
+		//
+		// This Snapshot is the one place a handler retains m.Info's
+		// storage past the HandleMessage call. Zero-copy decode paths
+		// (live's per-node wire.Decoder) rely on that: they detach Info
+		// for MsgInfo frames only. Retaining Info for another kind here
+		// requires updating those call sites.
 		h.infoView[from] = m.Info.Snapshot()
 		h.infoSynced[from] = true
 	}

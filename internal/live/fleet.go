@@ -1,6 +1,8 @@
 package live
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"rbcast/internal/core"
 	"rbcast/internal/multi"
 	"rbcast/internal/seqset"
+	"rbcast/internal/wire"
 )
 
 // FleetConfig assembles a live protocol deployment.
@@ -72,7 +75,30 @@ type node struct {
 	cmds  chan func(now time.Duration)
 	stop  chan struct{}
 	done  chan struct{}
+	// dec reuses payload and interval buffers across inbound frames; it
+	// is only touched from the node goroutine.
+	dec wire.Decoder
 }
+
+// decode splits a stream-prefixed wire frame using the node's reusable
+// decoder, so steady-state inbound traffic decodes without allocating.
+// Part-carrying frames (piggyback bundles, sync responses) fall back to
+// the general allocating path.
+func (n *node) decode(data []byte) (core.HostID, wire.Frame, error) {
+	if len(data) < 4 {
+		return 0, wire.Frame{}, fmt.Errorf("live: envelope too short")
+	}
+	stream := core.HostID(binary.BigEndian.Uint32(data[:4]))
+	f, err := n.dec.Decode(data[4:])
+	if errors.Is(err, wire.ErrHasParts) {
+		f, err = wire.Decode(data[4:])
+	}
+	return stream, f, err
+}
+
+// newBus is swappable so tests can fail bus construction for a chosen
+// host and exercise StartFleet's mid-loop error path.
+var newBus = multi.NewBus
 
 // StartFleet constructs and starts all nodes.
 func StartFleet(cfg FleetConfig) (*Fleet, error) {
@@ -102,7 +128,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	for _, id := range cfg.Hosts {
 		id := id
 		env := &nodeEnv{fleet: f, id: id}
-		bus, err := multi.NewBus(multi.Config{
+		bus, err := newBus(multi.Config{
 			ID:         id,
 			Peers:      cfg.Hosts,
 			Sources:    sources,
@@ -126,8 +152,11 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 			done:  make(chan struct{}),
 		}
 		f.nodes[id] = n
-	}
-	for _, n := range f.nodes {
+		// Spawn immediately: runNode owns closing n.done, and Stop waits
+		// on done for every registered node. Registering first and
+		// spawning in a second loop would make the mid-loop error paths
+		// above (which call f.Stop) block forever on nodes whose
+		// goroutine never started.
 		go f.runNode(n)
 	}
 	return f, nil
@@ -150,13 +179,20 @@ func (f *Fleet) runNode(n *node) {
 		case <-ticker.C:
 			n.bus.Tick(f.now())
 		case in := <-n.inbox:
-			stream, frame, err := decodeEnvelope(in.data)
+			stream, frame, err := n.decode(in.data)
 			in.release()
 			if err != nil {
 				f.Transport.mu.Lock()
 				f.Transport.decodeErrors++
 				f.Transport.mu.Unlock()
 				continue
+			}
+			if frame.Message.Kind == core.MsgInfo {
+				// handleInfo is the one path that retains the decoded
+				// Info (core snapshots it into infoView); every other
+				// kind merges by membership. Detach it from the storage
+				// the decoder will overwrite on the next frame.
+				frame.Message.Info = frame.Message.Info.Clone()
 			}
 			n.bus.HandleMessage(f.now(), frame.From, in.costBit, stream, frame.Message)
 		case cmd := <-n.cmds:

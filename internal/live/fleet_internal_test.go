@@ -1,0 +1,52 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rbcast/internal/core"
+	"rbcast/internal/multi"
+)
+
+// TestStartFleetErrorPathDoesNotHang is a regression test for a shutdown
+// deadlock: StartFleet used to register every node first and spawn the
+// runNode goroutines in a second loop, so a mid-loop bus or inbox error
+// called Stop while already-registered nodes had no goroutine — and Stop
+// blocked forever on <-n.done, since runNode's deferred close is the
+// only thing that closes done. Nodes must be spawned as they are
+// registered. Run under -race this also exercises the live node
+// goroutine racing fleet teardown.
+func TestStartFleetErrorPathDoesNotHang(t *testing.T) {
+	orig := newBus
+	calls := 0
+	newBus = func(cfg multi.Config, env multi.Env) (*multi.Bus, error) {
+		calls++
+		if calls == 2 {
+			return nil, fmt.Errorf("injected bus failure for host %d", cfg.ID)
+		}
+		return orig(cfg, env)
+	}
+	defer func() { newBus = orig }()
+
+	type result struct {
+		f   *Fleet
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		f, err := StartFleet(FleetConfig{Hosts: []core.HostID{1, 2, 3}, Source: 1})
+		got <- result{f, err}
+	}()
+	select {
+	case r := <-got:
+		if r.err == nil {
+			if r.f != nil {
+				r.f.Stop()
+			}
+			t.Fatal("StartFleet succeeded despite failing bus constructor")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("StartFleet hung in its error path: Stop waited on nodes whose goroutine never started")
+	}
+}

@@ -90,6 +90,10 @@ func (s *Set) materialize() {
 	if !s.cow {
 		return
 	}
+	// The copy below is the documented, one-time cost of mutating after a
+	// Snapshot; hot paths that reach here in steady state hold private
+	// storage and skip it via the cow check above.
+	//rblint:ignore alloclint cow materialization is the advertised cold-path cost of Snapshot
 	runs := make([]Interval, len(s.runs))
 	copy(runs, s.runs)
 	s.runs = runs
@@ -226,11 +230,32 @@ func (s *Set) Union(other Set) {
 }
 
 // Diff returns the members of s that are not members of other, as a new
-// set. It walks the two run codings in lockstep, so the cost is
-// O(r_s + r_other) in run counts — independent of how many sequence
-// numbers the runs span.
+// set. It is a convenience wrapper over DiffInto; delta senders on hot
+// paths call DiffInto with a reused scratch set instead, which allocates
+// nothing once the scratch has grown to working size.
 func (s Set) Diff(other Set) Set {
 	var out Set
+	s.DiffInto(&out, other)
+	return out
+}
+
+// DiffInto overwrites dst with the members of s that are not members of
+// other, reusing dst's run storage. It walks the two run codings in
+// lockstep, so the cost is O(r_s + r_other) in run counts — independent
+// of how many sequence numbers the runs span. dst must not alias s or
+// other: the output is written over dst's storage while s and other are
+// still being read.
+//
+//rblint:hotpath sender-side delta computation, run once per delta INFO frame per peer
+func (s Set) DiffInto(dst *Set, other Set) {
+	if dst.cow {
+		// dst's storage is shared with a Snapshot and must not be
+		// overwritten; drop it and let append build a private array (cold:
+		// only right after dst itself was snapshotted).
+		dst.runs = nil
+		dst.cow = false
+	}
+	out := dst.runs[:0]
 	j := 0
 	for _, r := range s.runs {
 		lo := r.Lo
@@ -240,12 +265,12 @@ func (s Set) Diff(other Set) Set {
 			}
 			if j == len(other.runs) || other.runs[j].Lo > r.Hi {
 				// Nothing left in other can intersect [lo, r.Hi].
-				out.runs = append(out.runs, Interval{Lo: lo, Hi: r.Hi})
+				out = append(out, Interval{Lo: lo, Hi: r.Hi})
 				break
 			}
 			o := other.runs[j]
 			if o.Lo > lo {
-				out.runs = append(out.runs, Interval{Lo: lo, Hi: o.Lo - 1})
+				out = append(out, Interval{Lo: lo, Hi: o.Lo - 1})
 			}
 			if o.Hi >= r.Hi {
 				break
@@ -255,46 +280,60 @@ func (s Set) Diff(other Set) Set {
 	}
 	// The output runs inherit s's ordering, and removing members only
 	// widens gaps, so the run invariants hold by construction.
-	return out
+	dst.runs = out
 }
 
-// ApplyDelta adds every member of delta to s via a linear merge of the
-// two run codings: O(r_s + r_delta), versus Union's per-run insertion.
-// It is the receiving half of the delta INFO exchange — the sender
-// computes Diff(current, lastAcked), the receiver applies it here.
+// ApplyDelta adds every member of delta to s via a linear in-place merge
+// of the two run codings: O(r_s + r_delta), versus Union's per-run
+// insertion — and no temporary storage. It is the receiving half of the
+// delta INFO exchange — the sender computes DiffInto(current, lastAcked),
+// the receiver applies it here. delta must not alias s's storage.
+//
+//rblint:hotpath receiver-side delta merge, run on every delta INFO frame
 func (s *Set) ApplyDelta(delta Set) {
 	if len(delta.runs) == 0 {
 		return
 	}
 	if len(s.runs) == 0 {
-		s.runs = make([]Interval, len(delta.runs))
-		copy(s.runs, delta.runs)
 		s.cow = false
+		s.runs = append(s.runs[:0], delta.runs...)
 		return
 	}
-	merged := make([]Interval, 0, len(s.runs)+len(delta.runs))
-	i, j := 0, 0
-	for i < len(s.runs) || j < len(delta.runs) {
-		var next Interval
-		if j == len(delta.runs) || (i < len(s.runs) && s.runs[i].Lo <= delta.runs[j].Lo) {
-			next = s.runs[i]
-			i++
+	s.materialize()
+	// Grow by len(delta) slots (the appended values are placeholders the
+	// backward merge overwrites), then merge the two sorted codings from
+	// the back. Writing slot k while reading slot i is safe: k > i holds
+	// until every delta run has been placed.
+	oldLen := len(s.runs)
+	s.runs = append(s.runs, delta.runs...)
+	i, j, k := oldLen-1, len(delta.runs)-1, len(s.runs)-1
+	for j >= 0 {
+		if i >= 0 && s.runs[i].Lo > delta.runs[j].Lo {
+			s.runs[k] = s.runs[i]
+			i--
 		} else {
-			next = delta.runs[j]
-			j++
+			s.runs[k] = delta.runs[j]
+			j--
 		}
-		if n := len(merged); n > 0 && (merged[n-1].Hi+1 == 0 || next.Lo <= merged[n-1].Hi+1) {
-			// Overlapping or adjacent: coalesce. (Hi+1 == 0 means the run
-			// already reaches the maximal Seq and absorbs everything.)
-			if next.Hi > merged[n-1].Hi {
-				merged[n-1].Hi = next.Hi
+		k--
+	}
+	// s.runs is now sorted by Lo but may hold overlapping or adjacent
+	// neighbors; coalesce in place.
+	out := 0
+	for idx := 0; idx < len(s.runs); idx++ {
+		r := s.runs[idx]
+		if out > 0 && (s.runs[out-1].Hi+1 == 0 || r.Lo <= s.runs[out-1].Hi+1) {
+			// Overlapping or adjacent. (Hi+1 == 0 means the run already
+			// reaches the maximal Seq and absorbs everything.)
+			if r.Hi > s.runs[out-1].Hi {
+				s.runs[out-1].Hi = r.Hi
 			}
 		} else {
-			merged = append(merged, next)
+			s.runs[out] = r
+			out++
 		}
 	}
-	s.runs = merged
-	s.cow = false
+	s.runs = s.runs[:out]
 }
 
 // ContainsAll reports whether every member of other is a member of s.
@@ -401,6 +440,35 @@ func FromIntervals(ivs []Interval) (Set, error) {
 		s.AddRange(iv.Lo, iv.Hi)
 	}
 	return s, nil
+}
+
+// FromSortedRuns builds a set directly over runs, which must already be
+// the canonical coding: every interval valid (Lo ≥ 1, Lo ≤ Hi), sorted
+// by Lo, non-overlapping, non-adjacent — exactly what the wire encoder
+// emits. Unlike FromIntervals it never normalizes or copies: the
+// returned set aliases runs in copy-on-write mode, so mutating the set
+// copies first, but the caller reusing the slice (the zero-alloc wire
+// Decoder) invalidates the set's contents. Non-canonical input is
+// rejected with an error, so the function is safe on untrusted wire
+// bytes produced by a conforming encoder.
+//
+//rblint:hotpath builds the INFO set for every frame the zero-alloc wire decoder parses
+func FromSortedRuns(runs []Interval) (Set, error) {
+	for i, r := range runs {
+		if r.Lo == 0 || r.Lo > r.Hi {
+			return Set{}, fmt.Errorf("seqset: invalid interval [%d,%d]", r.Lo, r.Hi)
+		}
+		// Hi+1 == 0 means the previous run reaches the maximal Seq:
+		// nothing can legally follow it.
+		if i > 0 && (runs[i-1].Hi+1 == 0 || runs[i-1].Hi+1 >= r.Lo) {
+			return Set{}, fmt.Errorf("seqset: intervals [%d,%d],[%d,%d] out of order, overlapping, or adjacent",
+				runs[i-1].Lo, runs[i-1].Hi, r.Lo, r.Hi)
+		}
+	}
+	if len(runs) == 0 {
+		return Set{}, nil
+	}
+	return Set{runs: runs, cow: true}, nil
 }
 
 // Prune removes all members ≤ upTo. The paper (§6) notes INFO sets can be

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The event queue's //rblint:hotpath guarantee, pinned dynamically: once
+// the heap and the cancel-cell free list have grown to working size, a
+// schedule/run cycle performs no heap allocation — timer-churn-heavy
+// soaks stay garbage-free.
+
+func TestScheduleRunZeroAllocs(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	fn := Event(func() { ran++ })
+	// Warm the heap and the free list past the working set.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			e.Schedule(time.Duration(i)*time.Microsecond, fn)
+		}
+		runErr = e.RunUntilIdle()
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if ran == 0 {
+		t.Fatal("no events ran")
+	}
+	if allocs != 0 {
+		t.Errorf("schedule/run cycle: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestCancelCompactZeroAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := Event(func() {})
+	timers := make([]Timer, 0, 256)
+	// Warm: drive one full schedule/cancel/compact/run cycle so the
+	// heap, free list, and timer slice reach steady capacity.
+	cycle := func() {
+		timers = timers[:0]
+		for i := 0; i < 200; i++ {
+			timers = append(timers, e.Schedule(time.Duration(i)*time.Microsecond, fn))
+		}
+		// Cancel enough to cross the compaction threshold (canceled >
+		// half of a heap of at least compactMin entries).
+		for _, tm := range timers[:150] {
+			tm.Cancel()
+		}
+		if err := e.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Errorf("schedule/cancel/compact cycle: %.1f allocs/op, want 0", allocs)
+	}
+}

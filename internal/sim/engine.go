@@ -61,6 +61,8 @@ type Timer struct {
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. Cancel on the zero Timer is a no-op.
+//
+//rblint:hotpath timer churn (backoff cancel/reschedule) dominates soak profiles
 func (t Timer) Cancel() {
 	if t.cell == nil || t.cell.gen != t.gen || t.cell.canceled {
 		return
@@ -120,6 +122,8 @@ func (e *Engine) getCell() *cancelCell {
 
 // releaseCell retires a cell once its event left the heap. Bumping gen
 // invalidates every outstanding Timer for it before reuse.
+//
+//rblint:hotpath cell recycling keeps timer churn allocation-free
 func (e *Engine) releaseCell(c *cancelCell) {
 	c.inHeap = false
 	c.gen++
@@ -147,6 +151,7 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
 // binary heap and keeps hot comparisons within one cache line of
 // siblings.
 
+//rblint:hotpath heap comparison, run O(log n) times per schedule/pop
 func (e *Engine) less(a, b scheduledEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -154,11 +159,13 @@ func (e *Engine) less(a, b scheduledEvent) bool {
 	return a.seq < b.seq
 }
 
+//rblint:hotpath event admission; every Schedule lands here
 func (e *Engine) push(ev scheduledEvent) {
 	e.events = append(e.events, ev)
 	e.siftUp(len(e.events) - 1)
 }
 
+//rblint:hotpath heap restore after push
 func (e *Engine) siftUp(i int) {
 	h := e.events
 	ev := h[i]
@@ -173,6 +180,7 @@ func (e *Engine) siftUp(i int) {
 	h[i] = ev
 }
 
+//rblint:hotpath heap restore after pop and during compaction
 func (e *Engine) siftDown(i int) {
 	h := e.events
 	n := len(h)
@@ -203,6 +211,8 @@ func (e *Engine) siftDown(i int) {
 
 // popRoot removes the heap minimum (the caller has already read it from
 // slot 0).
+//
+//rblint:hotpath every executed event pops through here
 func (e *Engine) popRoot() {
 	h := e.events
 	n := len(h) - 1
@@ -223,6 +233,8 @@ const compactMin = 64
 // that schedule and cancel timers en masse (exponential backoff across
 // many peers) grow the queue without bound. Pop order is unaffected:
 // live events keep their (at, seq) keys.
+//
+//rblint:hotpath sweeps canceled timers in place; must not copy the heap
 func (e *Engine) maybeCompact() {
 	if len(e.events) < compactMin || 2*e.canceledPending <= len(e.events) {
 		return

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rbcast/internal/core"
+	"rbcast/internal/seqset"
+)
+
+// ErrHasParts is returned by Decoder.Decode for part-carrying frames
+// (bundles and sync responses); callers fall back to Decode, which
+// allocates per part.
+var ErrHasParts = errors.New("wire: frame carries parts; use Decode")
+
+// Decoder decodes partless frames with zero steady-state allocation by
+// reusing internal payload and interval buffers across calls.
+//
+// The returned Frame's Payload and Info alias the Decoder's buffers and
+// are valid only until the next Decode call — the same contract as
+// bufio.Scanner.Bytes. Callers that retain them must copy (Payload) or
+// Clone (Info); Info is returned in copy-on-write mode, so mutating it
+// through seqset's API is always safe. Decoder is also stricter than
+// Decode on the interval list: it requires the canonical sorted run
+// coding every conforming encoder emits (see seqset.FromSortedRuns),
+// where Decode normalizes arbitrary interval soup.
+//
+// The zero value is ready to use. A Decoder is not safe for concurrent
+// use; the UDP and live receive loops each own one.
+type Decoder struct {
+	payload []byte
+	runs    []seqset.Interval
+}
+
+// Decode parses a partless frame, rejecting malformed or oversized
+// input. Part-carrying kinds return ErrHasParts.
+//
+//rblint:hotpath per-datagram decode in the UDP and live receive loops
+func (d *Decoder) Decode(data []byte) (Frame, error) {
+	var f Frame
+	if len(data) < headerLen {
+		return f, ErrTruncated
+	}
+	if data[0] != magic {
+		return f, ErrBadMagic
+	}
+	if data[1] != version {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
+	}
+	kind := core.MsgKind(data[2])
+	if !knownKind(kind) {
+		return f, fmt.Errorf("%w: %d", ErrBadKind, data[2])
+	}
+	if kindHasParts(kind) {
+		return f, ErrHasParts
+	}
+	flags := data[3]
+	f.From = core.HostID(binary.BigEndian.Uint32(data[4:8]))
+	f.Message.Kind = kind
+	f.Message.GapFill = flags&flagGapFill != 0
+	f.Message.Parent = core.HostID(binary.BigEndian.Uint32(data[8:12]))
+	f.Message.Seq = seqset.Seq(binary.BigEndian.Uint64(data[12:20]))
+	rest := data[headerLen:]
+
+	if len(rest) < 4 {
+		return f, ErrTruncated
+	}
+	nPay := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if nPay > MaxPayload {
+		return f, fmt.Errorf("%w: %d bytes", ErrTooLarge, nPay)
+	}
+	if uint64(len(rest)) < uint64(nPay) {
+		return f, ErrTruncated
+	}
+	if nPay > 0 {
+		d.payload = append(d.payload[:0], rest[:nPay]...)
+		f.Message.Payload = d.payload
+	}
+	rest = rest[nPay:]
+
+	if len(rest) < 4 {
+		return f, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if n > MaxIntervals {
+		return f, fmt.Errorf("%w: %d intervals", ErrTooLarge, n)
+	}
+	if uint64(len(rest)) < uint64(n)*16 {
+		return f, ErrTruncated
+	}
+	d.runs = d.runs[:0]
+	for i := uint32(0); i < n; i++ {
+		lo := seqset.Seq(binary.BigEndian.Uint64(rest[:8]))
+		hi := seqset.Seq(binary.BigEndian.Uint64(rest[8:16]))
+		rest = rest[16:]
+		d.runs = append(d.runs, seqset.Interval{Lo: lo, Hi: hi})
+	}
+	info, err := seqset.FromSortedRuns(d.runs)
+	if err != nil {
+		return f, fmt.Errorf("wire: %w", err)
+	}
+	f.Message.Info = info
+
+	if kindHasCheck(kind) {
+		if len(rest) < 8 {
+			return f, ErrTruncated
+		}
+		f.Message.CheckLen = binary.BigEndian.Uint64(rest[:8])
+		rest = rest[8:]
+	}
+	if len(rest) != 0 {
+		return f, ErrTrailing
+	}
+	return f, nil
+}

@@ -139,6 +139,8 @@ func checkEncodable(f Frame) error {
 // EncodedSize returns the exact byte length AppendEncode would produce
 // for f, without encoding. The simulator's bytes-on-wire metrics price
 // every logical send through here.
+//
+//rblint:hotpath prices every logical send in the simulator's bytes-on-wire accounting
 func EncodedSize(f Frame) (int, error) {
 	if err := checkEncodable(f); err != nil {
 		return 0, err
@@ -167,6 +169,8 @@ func EncodedSize(f Frame) (int, error) {
 // buffer. It allocates only when dst lacks capacity, so a caller reusing
 // buffers (see internal/udp, internal/live) encodes with zero garbage.
 // On error dst is returned truncated to its original length.
+//
+//rblint:hotpath per-frame encode in the UDP and live send paths; must reuse dst
 func AppendEncode(dst []byte, f Frame) ([]byte, error) {
 	base := len(dst)
 	out, err := appendFrame(dst, f)
