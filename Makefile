@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-selftest test race check soak soak-byzantine soak-catchup soak-smoke-race fuzz fuzz-smoke bench-json bench-smoke clean
+.PHONY: all build vet lint lint-sarif lint-selftest test race race-shard-identity check soak soak-byzantine soak-catchup soak-smoke-race fuzz fuzz-smoke bench-json bench-smoke clean
 
 all: check
 
@@ -42,6 +42,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-shard-identity re-runs just the sharded-engine determinism
+# tests race-enabled and with higher verbosity: worker-count trace
+# identity at the sim and netsim layers, and shard-count invariance of
+# soak event traces and replay reports (including the byzantine and
+# late-joiner arms). CI runs it across the GOMAXPROCS matrix so the
+# bit-identical-at-any-shard-count guarantee is checked under both
+# serialized and genuinely parallel worker schedules.
+race-shard-identity:
+	$(GO) test -race -v -run 'TestShardedWorkerCountIdentity|TestShardTraceIdentity|TestShardPlan|TestShardCount' ./internal/sim/ ./internal/netsim/ ./internal/soak/
 
 # check is the gate for every change: compile everything, lint with vet
 # and rblint, and run the full suite under the race detector. It does

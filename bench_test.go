@@ -7,6 +7,7 @@ package rbcast_test
 // measure raw simulator and protocol throughput.
 
 import (
+	"fmt"
 	"testing"
 
 	"rbcast/internal/bench"
@@ -52,6 +53,12 @@ func BenchmarkE11Multi(b *testing.B)     { benchExperiment(b, "E11") }
 
 func BenchmarkSimulatorThroughput(b *testing.B)  { bench.SimulatorThroughput(b) }
 func BenchmarkPublicSimulate(b *testing.B)       { bench.PublicSimulate(b) }
+
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(shards), bench.ShardScaling(shards))
+	}
+}
 func BenchmarkLiveFleetBroadcast(b *testing.B)   { bench.LiveFleetBroadcast(b) }
 func BenchmarkEngineTimerChurn(b *testing.B)     { bench.EngineTimerChurn(b) }
 func BenchmarkSeqsetDiff(b *testing.B)           { bench.SeqsetDiff(b) }

@@ -39,6 +39,7 @@ func run() int {
 		messages  = flag.Int("messages", 20, "number of broadcast messages")
 		interval  = flag.Duration("interval", 200*time.Millisecond, "time between broadcasts")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		shards    = flag.Int("shards", 0, "parallel shard workers (0 = sequential engine; any positive count gives identical results)")
 		cheapLoss = flag.Float64("lan-loss", 0, "loss probability on cheap links")
 		wanLoss   = flag.Float64("wan-loss", 0, "loss probability on expensive links")
 		partition = flag.String("partition", "", "cluster:start:end, e.g. 2:5s:25s")
@@ -101,9 +102,10 @@ func run() int {
 
 	buf := trace.NewBuffer(4096)
 	scenario := harness.Scenario{
-		Name: "rbsim",
-		Seed: *seed,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Name:   "rbsim",
+		Seed:   *seed,
+		Shards: *shards,
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			return topo.Clustered(eng, topo.ClusteredConfig{
 				Clusters:        *clusters,
 				HostsPerCluster: *hosts,

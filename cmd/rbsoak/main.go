@@ -48,6 +48,7 @@ func run() int {
 		seeds   = flag.Int64("seeds", 1, "first seed of the sweep")
 		count   = flag.Int("count", 1000, "number of consecutive seeds to run")
 		workers = flag.Int("workers", 0, "worker pool size (0 = all cores)")
+		shards  = flag.Int("shards", 0, "per-scenario parallel shard workers (0 = sequential engine)")
 		budget  = flag.Duration("budget", 0, "wall-clock budget; stops dispatching new seeds once exceeded (0 = none)")
 		csvFile = flag.String("csv", "", "write per-seed results as CSV to this file")
 		jsFile  = flag.String("json", "", "write the full summary (specs included) as JSON to this file")
@@ -93,6 +94,7 @@ func run() int {
 		SeedStart: *seeds,
 		Seeds:     *count,
 		Workers:   *workers,
+		Shards:    *shards,
 		Budget:    *budget,
 	}
 	if !*verbose && *count > 1 {

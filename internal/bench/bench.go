@@ -33,6 +33,10 @@ type Case struct {
 func Cases() []Case {
 	return []Case{
 		{"SimulatorThroughput", SimulatorThroughput},
+		{"ShardScaling/1", ShardScaling(1)},
+		{"ShardScaling/2", ShardScaling(2)},
+		{"ShardScaling/4", ShardScaling(4)},
+		{"ShardScaling/8", ShardScaling(8)},
 		{"PublicSimulate", PublicSimulate},
 		{"LiveFleetBroadcast", LiveFleetBroadcast},
 		{"EngineTimerChurn", EngineTimerChurn},
@@ -55,7 +59,7 @@ func SimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rt, err := harness.Prepare(harness.Scenario{
 			Seed: 1,
-			Build: func(eng *sim.Engine) (*topo.Topology, error) {
+			Build: func(eng sim.Loop) (*topo.Topology, error) {
 				return topo.Clustered(eng, topo.ClusteredConfig{
 					Clusters:        6,
 					HostsPerCluster: 4,
@@ -83,6 +87,53 @@ func SimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds()/float64(b.N), "virtual-s/wall-s")
+}
+
+// ShardScaling measures the sharded parallel engine on a 512-host
+// topology (64 clusters of 8) at the given worker count. The simulated
+// trace is bit-identical at every shard count — only events per
+// wall-clock second may change — so entries differ purely in execution
+// parallelism. Compare the events/s metric across ShardScaling/1..8;
+// the available speedup is bounded by GOMAXPROCS and by the epoch
+// barrier's serial fraction (coordinator drain + global events).
+func ShardScaling(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events uint64
+		var virtual time.Duration
+		for i := 0; i < b.N; i++ {
+			rt, err := harness.Prepare(harness.Scenario{
+				Seed:   1,
+				Shards: shards,
+				Build: func(eng sim.Loop) (*topo.Topology, error) {
+					return topo.Clustered(eng, topo.ClusteredConfig{
+						Clusters:        64,
+						HostsPerCluster: 8,
+						Shape:           topo.WANTree,
+					})
+				},
+				Protocol:         harness.ProtocolTree,
+				Messages:         5,
+				MsgInterval:      200 * time.Millisecond,
+				WarmUp:           3 * time.Second,
+				StopWhenComplete: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := rt.Finish()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Complete {
+				b.Fatalf("broadcast incomplete (%d/%d)", res.DeliveredCount, res.ExpectedCount)
+			}
+			events += rt.Engine.EventsRun()
+			virtual += rt.Engine.Now()
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds()/float64(b.N), "virtual-s/wall-s")
+	}
 }
 
 // PublicSimulate measures the facade's end-to-end cost.

@@ -64,7 +64,7 @@ func MultiSource(seed int64) (Report, error) {
 	for _, s := range sources {
 		delivered[s] = map[core.HostID]seqset.Set{}
 	}
-	tp.Net.OnSend = func(env netsim.Envelope, inter bool) {
+	tp.Net.OnSend = func(_ int, env netsim.Envelope, inter bool) {
 		sm, ok := env.Payload.(streamMsg)
 		if !ok || !inter {
 			return

@@ -42,7 +42,7 @@ func ClusterKnowledge(seed int64) (Report, error) {
 		rt, err := harness.Prepare(harness.Scenario{
 			Name: fmt.Sprintf("e9-%s", mode),
 			Seed: seed,
-			Build: func(eng *sim.Engine) (*topo.Topology, error) {
+			Build: func(eng sim.Loop) (*topo.Topology, error) {
 				return topo.Clustered(eng, topo.ClusteredConfig{
 					Clusters:        4,
 					HostsPerCluster: 3,

@@ -12,8 +12,8 @@ import (
 	"rbcast/internal/topo"
 )
 
-func clusteredBuild(cfg topo.ClusteredConfig) func(*sim.Engine) (*topo.Topology, error) {
-	return func(eng *sim.Engine) (*topo.Topology, error) {
+func clusteredBuild(cfg topo.ClusteredConfig) func(sim.Loop) (*topo.Topology, error) {
+	return func(eng sim.Loop) (*topo.Topology, error) {
 		return topo.Clustered(eng, cfg)
 	}
 }

@@ -156,7 +156,7 @@ func TestByzantineLieInfoReported(t *testing.T) {
 		rt, err := harness.Prepare(harness.Scenario{
 			Name:     "byz-lie-info",
 			Seed:     seed,
-			Build: func(eng *sim.Engine) (*topo.Topology, error) {
+			Build: func(eng sim.Loop) (*topo.Topology, error) {
 				return topo.Clustered(eng, topo.ClusteredConfig{
 					Clusters:        2,
 					HostsPerCluster: 2,

@@ -168,7 +168,7 @@ func TestLossyEverything(t *testing.T) {
 	res, err := harness.Run(harness.Scenario{
 		Name: "lossy-everything",
 		Seed: 29,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			return topo.Clustered(eng, topo.ClusteredConfig{
 				Clusters:        3,
 				HostsPerCluster: 3,

@@ -13,6 +13,7 @@ import (
 	"rbcast/internal/adversary"
 	"rbcast/internal/basic"
 	"rbcast/internal/core"
+	"rbcast/internal/metrics"
 	"rbcast/internal/netsim"
 	"rbcast/internal/replica"
 	"rbcast/internal/seqset"
@@ -56,8 +57,18 @@ type Scenario struct {
 	Name string
 	// Seed drives all randomness.
 	Seed int64
+	// Shards, when positive, runs the scenario on the sharded parallel
+	// engine (sim.Sharded) with that many workers: the topology's
+	// cheap-link clusters become independently clocked lanes synchronized
+	// by a conservative epoch barrier. The trace of a sharded run depends
+	// only on (Seed, topology) — never on the worker count — so any two
+	// positive Shards values produce bit-identical results. Zero keeps
+	// the sequential engine (a distinct, equally deterministic
+	// execution: it draws from one PRNG stream where lanes each have
+	// their own).
+	Shards int
 	// Build constructs the topology on the given engine.
-	Build func(*sim.Engine) (*topo.Topology, error)
+	Build func(sim.Loop) (*topo.Topology, error)
 	// Protocol selects tree or basic; default ProtocolTree.
 	Protocol Protocol
 	// Params tunes the tree protocol; zero value uses defaults.
@@ -139,7 +150,7 @@ func (s Scenario) withDefaults() (Scenario, error) {
 // Runtime is the live state of a running scenario, exposed to scheduled
 // events and, read-only, to tests after the run.
 type Runtime struct {
-	Engine *sim.Engine
+	Engine sim.Loop
 	Topo   *topo.Topology
 	Net    *netsim.Network
 	// TreeHosts maps host ID to protocol state (tree protocol runs only).
@@ -155,11 +166,75 @@ type Runtime struct {
 
 	scenario Scenario
 	result   *Result
+	// acc holds one accumulator per lane (exactly one on the sequential
+	// engine). Hook and delivery counters land in the executing lane's
+	// accumulator — lane events on different lanes run concurrently under
+	// Scenario.Shards — and merge() folds them into the Result in lane
+	// order from parked contexts. The epoch-job channel handoff inside
+	// sim.Sharded is the happens-before edge making that safe.
+	acc []laneAcc
 	// broadcasting is true while a Broadcast call is on the stack: the
 	// source delivers to itself synchronously, before the caller can
 	// register the new sequence number in BroadcastAt, and record must
 	// not mistake that self-delivery for an adversary-fabricated frame.
+	// Broadcast is only ever invoked from parked contexts (the global
+	// queue or test code between runs), so no lane event can observe the
+	// flag mid-flight.
 	broadcasting bool
+}
+
+// laneAcc accumulates everything one lane's events measure. Each lane
+// writes only its own accumulator; Result fields derive from a
+// deterministic lane-order merge.
+type laneAcc struct {
+	sendsByKind             map[string]uint64
+	interClusterByKind      map[string]uint64
+	unreachableSendsByKind  map[string]uint64
+	sourceLinkByKind        map[string]uint64
+	logicalSends            uint64
+	unreachableSends        uint64
+	wireBytes               uint64
+	catchupWireBytes        uint64
+	infoWireBytes           uint64
+	dataLinkTraversals      uint64
+	dataExpensiveTraversals uint64
+
+	delays metrics.Durations
+	// deliveryTimes records the instant of every counted delivery
+	// (including self-deliveries and snapshot coverage, which take no
+	// delay sample); completion time is recovered from the merged
+	// sequence at finalize.
+	deliveryTimes       []time.Duration
+	deliveredCount      int
+	duplicateDeliveries int
+	foreignDeliveries   int
+	snapshotDeliveries  int
+	sendErrors          int
+	events              []core.Event
+}
+
+func newLaneAcc() laneAcc {
+	return laneAcc{
+		sendsByKind:            make(map[string]uint64),
+		interClusterByKind:     make(map[string]uint64),
+		unreachableSendsByKind: make(map[string]uint64),
+		sourceLinkByKind:       make(map[string]uint64),
+	}
+}
+
+// laneOf reports the lane executing host id's protocol code.
+func (rt *Runtime) laneOf(id core.HostID) int {
+	return rt.Net.LaneOfHost(netsim.HostID(id))
+}
+
+// deliveredTotal sums counted deliveries across lanes. Parked contexts
+// only.
+func (rt *Runtime) deliveredTotal() int {
+	n := 0
+	for i := range rt.acc {
+		n += rt.acc[i].deliveredCount
+	}
+	return n
 }
 
 // Run executes the scenario to completion and returns the result.
@@ -178,10 +253,27 @@ func Prepare(s Scenario) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(s.Seed)
+	var eng sim.Loop
+	var sharded *sim.Sharded
+	if s.Shards > 0 {
+		sharded = sim.NewSharded(s.Seed, s.Shards)
+		eng = sharded
+	} else {
+		eng = sim.NewEngine(s.Seed)
+	}
 	tp, err := s.Build(eng)
 	if err != nil {
 		return nil, fmt.Errorf("harness: building topology: %w", err)
+	}
+	if sharded != nil {
+		// Partition the built topology into lanes (its cheap-link
+		// clusters) and hand the engine the lane weights and the
+		// conservative lookahead before any lane event is scheduled.
+		plan := tp.Net.ComputeShardPlan()
+		sharded.SetLanes(plan.Weights, plan.Lookahead)
+		if err := tp.Net.ApplyShardPlan(plan); err != nil {
+			return nil, fmt.Errorf("harness: applying shard plan: %w", err)
+		}
 	}
 	rt := &Runtime{
 		Engine:   eng,
@@ -189,6 +281,19 @@ func Prepare(s Scenario) (*Runtime, error) {
 		Net:      tp.Net,
 		scenario: s,
 		result:   newResult(s, tp),
+	}
+	rt.acc = make([]laneAcc, tp.Net.Lanes())
+	for i := range rt.acc {
+		rt.acc[i] = newLaneAcc()
+	}
+	if len(rt.acc) > 1 {
+		// Pre-populate the per-host delivery maps: lane events then only
+		// read the outer maps and write their own hosts' inner maps, so
+		// concurrent lanes never mutate a shared map.
+		for _, h := range tp.Hosts {
+			rt.result.DeliveredAt[core.HostID(h)] = make(map[seqset.Seq]time.Duration)
+			rt.result.DeliveredDigest[core.HostID(h)] = make(map[seqset.Seq]uint64)
+		}
 	}
 	rt.instrument()
 	switch s.Protocol {
@@ -276,64 +381,70 @@ func (rt *Runtime) RunUntil(until time.Duration) error {
 		if err := rt.Engine.Run(next); err != nil {
 			return err
 		}
-		if rt.scenario.StopWhenComplete && rt.result.Complete {
+		if rt.scenario.StopWhenComplete && rt.deliveredTotal() == rt.result.ExpectedCount {
 			return nil
 		}
 	}
 	return nil
 }
 
-// Result returns the (possibly unfinalized) result under collection.
-func (rt *Runtime) Result() *Result { return rt.result }
+// Result returns the result under collection, with per-lane counters
+// merged up to the current instant. Call it from parked contexts only
+// (between runs or from global-queue events).
+func (rt *Runtime) Result() *Result {
+	rt.merge()
+	return rt.result
+}
 
 // instrument classifies every host-level send by protocol message kind,
 // counts sends to currently-unreachable destinations (the §5 partition
 // waste metric), and counts server-link traversals of data messages (the
 // Figure 3.1 link-cost metric).
 func (rt *Runtime) instrument() {
-	res := rt.result
-	rt.Net.OnSend = func(env netsim.Envelope, inter bool) {
+	rt.Net.OnSend = func(lane int, env netsim.Envelope, inter bool) {
+		a := &rt.acc[lane]
 		kind := classify(env.Payload)
-		res.SendsByKind[kind]++
+		a.sendsByKind[kind]++
 		if m, ok := env.Payload.(core.Message); ok && m.Kind == core.MsgBundle {
-			res.LogicalSends += uint64(len(m.Parts))
+			a.logicalSends += uint64(len(m.Parts))
 		} else {
-			res.LogicalSends++
+			a.logicalSends++
 		}
 		if inter {
-			res.InterClusterByKind[kind]++
+			a.interClusterByKind[kind]++
 		}
-		if !rt.Net.PathExists(env.From, env.To) {
-			res.UnreachableSends++
-			res.UnreachableSendsByKind[kind]++
+		if !rt.Net.PathExistsOf(lane, env.From, env.To) {
+			a.unreachableSends++
+			a.unreachableSendsByKind[kind]++
 		}
 		if m, ok := env.Payload.(core.Message); ok {
 			// EncodedSize prices the frame without encoding it — this hook
 			// runs on every host-level send, so the accounting must not
 			// allocate a throwaway buffer per message.
 			if size, err := wire.EncodedSize(wire.Frame{From: core.HostID(env.From), Message: m}); err == nil {
-				res.WireBytes += uint64(size)
+				a.wireBytes += uint64(size)
 				switch m.Kind {
 				case core.MsgSyncReq, core.MsgSyncResp, core.MsgSnapReq, core.MsgSnapChunk:
-					res.CatchupWireBytes += uint64(size)
+					a.catchupWireBytes += uint64(size)
 				}
 			}
-			res.InfoWireBytes += infoWireBytes(core.HostID(env.From), m)
+			a.infoWireBytes += infoWireBytes(core.HostID(env.From), m)
 		}
 	}
-	rt.Net.OnLinkTransmit = func(_ netsim.LinkID, class netsim.LinkClass, env netsim.Envelope) {
+	rt.Net.OnLinkTransmit = func(lane int, _ netsim.LinkID, class netsim.LinkClass, env netsim.Envelope) {
 		kind := classify(env.Payload)
 		if kind == kindData || kind == kindGapFill {
-			res.DataLinkTraversals++
+			a := &rt.acc[lane]
+			a.dataLinkTraversals++
 			if class == netsim.Expensive {
-				res.DataExpensiveTraversals++
+				a.dataExpensiveTraversals++
 			}
 		}
 	}
 	source := rt.Topo.Source
-	rt.Net.OnHostLinkTransmit = func(h netsim.HostID, env netsim.Envelope) {
+	rt.Net.OnHostLinkTransmit = func(lane int, h netsim.HostID, env netsim.Envelope) {
 		if h == source {
-			res.SourceLinkByKind[classify(env.Payload)]++
+			rt.acc[lane].sourceLinkByKind[classify(env.Payload)]++
 		}
 	}
 }
@@ -359,6 +470,7 @@ func (rt *Runtime) BroadcastNow(payload []byte) error {
 	rt.result.BroadcastDigest[seq] = fnvDigest(payload)
 	rt.result.ManualMessages++
 	rt.result.ExpectedCount += rt.result.Hosts
+	rt.result.DeliveredCount = rt.deliveredTotal()
 	rt.result.Complete = rt.result.DeliveredCount == rt.result.ExpectedCount
 	return nil
 }
@@ -412,18 +524,19 @@ func infoWireBytes(from core.HostID, m core.Message) uint64 {
 }
 
 type treeEnv struct {
-	rt *Runtime
-	id core.HostID
+	rt   *Runtime
+	id   core.HostID
+	lane int
 }
 
 func (e treeEnv) Send(to core.HostID, m core.Message) {
 	if err := e.rt.Net.Send(netsim.HostID(e.id), netsim.HostID(to), m); err != nil {
-		e.rt.result.SendErrors++
+		e.rt.acc[e.lane].sendErrors++
 	}
 }
 
 func (e treeEnv) Deliver(seq seqset.Seq, payload []byte) {
-	e.rt.record(e.id, seq, payload)
+	e.rt.record(e.lane, e.id, seq, payload)
 	if st := e.rt.Replicas[e.id]; st != nil {
 		if u, err := replica.DecodeUpdate(payload); err == nil {
 			st.Apply(u)
@@ -460,7 +573,7 @@ func (e treeEnv) InstallSnapshot(upTo seqset.Seq, data []byte) bool {
 		return false
 	}
 	st.InstallRows(rows)
-	e.rt.recordSnapshotCoverage(e.id, upTo)
+	e.rt.recordSnapshotCoverage(e.lane, e.id, upTo)
 	return true
 }
 
@@ -470,9 +583,10 @@ func (e treeEnv) InstallSnapshot(upTo seqset.Seq, data []byte) bool {
 // carries the same state those deliveries would have built). No delay
 // sample is taken — catch-up latency is measured by the sync metrics,
 // not the per-delivery distribution.
-func (rt *Runtime) recordSnapshotCoverage(id core.HostID, mark seqset.Seq) {
+func (rt *Runtime) recordSnapshotCoverage(lane int, id core.HostID, mark seqset.Seq) {
 	res := rt.result
-	now := rt.Engine.Now()
+	a := &rt.acc[lane]
+	now := rt.Engine.NowOf(lane)
 	per, ok := res.DeliveredAt[id]
 	if !ok {
 		per = make(map[seqset.Seq]time.Duration)
@@ -492,12 +606,9 @@ func (rt *Runtime) recordSnapshotCoverage(id core.HostID, mark seqset.Seq) {
 		}
 		per[seq] = now
 		dig[seq] = res.BroadcastDigest[seq]
-		res.SnapshotDeliveries++
-		res.DeliveredCount++
-		if res.DeliveredCount == res.ExpectedCount && !res.Complete {
-			res.Complete = true
-			res.CompletionAt = now
-		}
+		a.snapshotDeliveries++
+		a.deliveredCount++
+		a.deliveryTimes = append(a.deliveryTimes, now)
 	}
 }
 
@@ -531,10 +642,11 @@ func (rt *Runtime) buildTree() error {
 	}
 	for _, id := range peers {
 		id := id
+		lane := rt.laneOf(id)
 		var obs core.Observer
 		if s.CollectEvents {
 			obs = func(ev core.Event) {
-				rt.result.Events = append(rt.result.Events, ev)
+				rt.acc[lane].events = append(rt.acc[lane].events, ev)
 			}
 		}
 		h, err := core.NewHost(core.Config{
@@ -546,7 +658,7 @@ func (rt *Runtime) buildTree() error {
 			InitialCluster: staticClusters[id],
 			JitterSeed:     s.Seed,
 			Observer:       obs,
-		}, treeEnv{rt: rt, id: id})
+		}, treeEnv{rt: rt, id: id, lane: lane})
 		if err != nil {
 			return fmt.Errorf("harness: host %d: %w", id, err)
 		}
@@ -560,24 +672,25 @@ func (rt *Runtime) buildTree() error {
 		}); err != nil {
 			return err
 		}
-		rt.tickLoop(s.Params.TickInterval, h.Tick)
+		rt.tickLoop(lane, s.Params.TickInterval, h.Tick)
 	}
 	return nil
 }
 
 type basicEnv struct {
-	rt *Runtime
-	id core.HostID
+	rt   *Runtime
+	id   core.HostID
+	lane int
 }
 
 func (e basicEnv) Send(to core.HostID, m basic.Message) {
 	if err := e.rt.Net.Send(netsim.HostID(e.id), netsim.HostID(to), m); err != nil {
-		e.rt.result.SendErrors++
+		e.rt.acc[e.lane].sendErrors++
 	}
 }
 
 func (e basicEnv) Deliver(seq seqset.Seq, payload []byte) {
-	e.rt.record(e.id, seq, payload)
+	e.rt.record(e.lane, e.id, seq, payload)
 }
 
 func (rt *Runtime) buildBasic() error {
@@ -587,7 +700,7 @@ func (rt *Runtime) buildBasic() error {
 	for _, h := range rt.Topo.Hosts {
 		peers = append(peers, core.HostID(h))
 	}
-	src, err := basic.NewSource(source, peers, s.BasicParams, basicEnv{rt: rt, id: source})
+	src, err := basic.NewSource(source, peers, s.BasicParams, basicEnv{rt: rt, id: source, lane: rt.laneOf(source)})
 	if err != nil {
 		return err
 	}
@@ -602,12 +715,12 @@ func (rt *Runtime) buildBasic() error {
 	}); err != nil {
 		return err
 	}
-	rt.tickLoop(s.BasicParams.TickInterval, src.Tick)
+	rt.tickLoop(rt.laneOf(source), s.BasicParams.TickInterval, src.Tick)
 	for _, id := range peers {
 		if id == source {
 			continue
 		}
-		rcv, err := basic.NewReceiver(id, source, basicEnv{rt: rt, id: id})
+		rcv, err := basic.NewReceiver(id, source, basicEnv{rt: rt, id: id, lane: rt.laneOf(id)})
 		if err != nil {
 			return err
 		}
@@ -625,10 +738,12 @@ func (rt *Runtime) buildBasic() error {
 	return nil
 }
 
-// tickLoop schedules the periodic clock for one protocol entity.
-func (rt *Runtime) tickLoop(interval time.Duration, tick func(time.Duration)) {
-	rt.Engine.Schedule(0, func() { tick(rt.Engine.Now()) })
-	rt.Engine.Every(interval, func() { tick(rt.Engine.Now()) })
+// tickLoop schedules the periodic clock for one protocol entity on its
+// lane, so ticks keep firing inside epochs without coordinator help and
+// read their own lane's clock.
+func (rt *Runtime) tickLoop(lane int, interval time.Duration, tick func(time.Duration)) {
+	rt.Engine.ScheduleOn(lane, 0, func() { tick(rt.Engine.NowOf(lane)) })
+	rt.Engine.EveryOn(lane, interval, func() { tick(rt.Engine.NowOf(lane)) })
 }
 
 func (rt *Runtime) scheduleWorkload() {
@@ -661,16 +776,17 @@ func (rt *Runtime) scheduleWorkload() {
 	}
 }
 
-func (rt *Runtime) record(id core.HostID, seq seqset.Seq, payload []byte) {
+func (rt *Runtime) record(lane int, id core.HostID, seq seqset.Seq, payload []byte) {
 	res := rt.result
-	now := rt.Engine.Now()
+	a := &rt.acc[lane]
+	now := rt.Engine.NowOf(lane)
 	per, ok := res.DeliveredAt[id]
 	if !ok {
 		per = make(map[seqset.Seq]time.Duration)
 		res.DeliveredAt[id] = per
 	}
 	if _, dup := per[seq]; dup {
-		res.DuplicateDeliveries++
+		a.duplicateDeliveries++
 		return
 	}
 	per[seq] = now
@@ -686,25 +802,19 @@ func (rt *Runtime) record(id core.HostID, seq seqset.Seq, payload []byte) {
 			// A sequence number nobody broadcast can only come from an
 			// adversary fabricating frames; counting it toward completion
 			// would let forged traffic satisfy StopWhenComplete.
-			res.ForeignDeliveries++
+			a.foreignDeliveries++
 			return
 		}
 		// Source self-delivery inside its own Broadcast call: the caller
 		// registers the sequence number right after it returns. Count the
 		// delivery; there is no meaningful delay sample (sent == now).
-		res.DeliveredCount++
-		if res.DeliveredCount == res.ExpectedCount && !res.Complete {
-			res.Complete = true
-			res.CompletionAt = now
-		}
+		a.deliveredCount++
+		a.deliveryTimes = append(a.deliveryTimes, now)
 		return
 	}
-	res.DeliveredCount++
-	res.Delays.Add(now - sent)
-	if res.DeliveredCount == res.ExpectedCount && !res.Complete {
-		res.Complete = true
-		res.CompletionAt = now
-	}
+	a.deliveredCount++
+	a.deliveryTimes = append(a.deliveryTimes, now)
+	a.delays.Add(now - sent)
 }
 
 // fnvDigest mirrors the echo/ready payload fingerprint in internal/core,

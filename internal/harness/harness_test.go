@@ -9,8 +9,8 @@ import (
 	"rbcast/internal/topo"
 )
 
-func clusteredBuild(clusters, hostsPer int, shape topo.WANShape) func(*sim.Engine) (*topo.Topology, error) {
-	return func(eng *sim.Engine) (*topo.Topology, error) {
+func clusteredBuild(clusters, hostsPer int, shape topo.WANShape) func(sim.Loop) (*topo.Topology, error) {
+	return func(eng sim.Loop) (*topo.Topology, error) {
 		return topo.Clustered(eng, topo.ClusteredConfig{
 			Clusters:        clusters,
 			HostsPerCluster: hostsPer,
@@ -94,7 +94,7 @@ func TestTreeCompletesUnderLoss(t *testing.T) {
 	res, err := harness.Run(harness.Scenario{
 		Name: "lossy-3x3",
 		Seed: 3,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			return topo.Clustered(eng, topo.ClusteredConfig{
 				Clusters:        3,
 				HostsPerCluster: 3,
@@ -124,7 +124,7 @@ func TestTreeCompletesUnderDuplication(t *testing.T) {
 	res, err := harness.Run(harness.Scenario{
 		Name: "dup-2x3",
 		Seed: 5,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			cheap := lossy(0)
 			cheap.DupProb = 0.2
 			exp := lossyExpensive(0)

@@ -155,6 +155,7 @@ type InvariantOptions struct {
 // state the report is byte-for-byte deterministic — a property the soak
 // engine's worker-count-independence guarantee rests on.
 func (rt *Runtime) CheckInvariants(opts InvariantOptions) []Violation {
+	rt.merge()
 	var out []Violation
 	res := rt.result
 	if res.DuplicateDeliveries != 0 {

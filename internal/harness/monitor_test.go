@@ -31,7 +31,7 @@ func TestNoStableCyclesUnderChurn(t *testing.T) {
 	rt, err := harness.Prepare(harness.Scenario{
 		Name: "cycle-churn",
 		Seed: 43,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			return topo.Clustered(eng, topo.ClusteredConfig{
 				Clusters:        3,
 				HostsPerCluster: 3,

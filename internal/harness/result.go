@@ -172,7 +172,70 @@ func newResult(s Scenario, tp *topo.Topology) *Result {
 	}
 }
 
+// merge folds the per-lane accumulators into the Result, recomputing
+// every derived counter from scratch so the operation is idempotent.
+// Lanes are folded in lane order, so the merged Result is a pure
+// function of the per-lane data — independent of worker count and wall
+// timing. Parked contexts only.
+func (rt *Runtime) merge() {
+	res := rt.result
+	res.SendsByKind = make(map[string]uint64)
+	res.InterClusterByKind = make(map[string]uint64)
+	res.UnreachableSendsByKind = make(map[string]uint64)
+	res.SourceLinkByKind = make(map[string]uint64)
+	res.LogicalSends, res.UnreachableSends = 0, 0
+	res.WireBytes, res.CatchupWireBytes, res.InfoWireBytes = 0, 0, 0
+	res.DataLinkTraversals, res.DataExpensiveTraversals = 0, 0
+	res.DeliveredCount, res.DuplicateDeliveries = 0, 0
+	res.ForeignDeliveries, res.SnapshotDeliveries = 0, 0
+	res.SendErrors = 0
+	res.Delays = metrics.Durations{}
+	var times []time.Duration
+	var events []core.Event
+	for i := range rt.acc {
+		a := &rt.acc[i]
+		for k, v := range a.sendsByKind {
+			res.SendsByKind[k] += v
+		}
+		for k, v := range a.interClusterByKind {
+			res.InterClusterByKind[k] += v
+		}
+		for k, v := range a.unreachableSendsByKind {
+			res.UnreachableSendsByKind[k] += v
+		}
+		for k, v := range a.sourceLinkByKind {
+			res.SourceLinkByKind[k] += v
+		}
+		res.LogicalSends += a.logicalSends
+		res.UnreachableSends += a.unreachableSends
+		res.WireBytes += a.wireBytes
+		res.CatchupWireBytes += a.catchupWireBytes
+		res.InfoWireBytes += a.infoWireBytes
+		res.DataLinkTraversals += a.dataLinkTraversals
+		res.DataExpensiveTraversals += a.dataExpensiveTraversals
+		res.DeliveredCount += a.deliveredCount
+		res.DuplicateDeliveries += a.duplicateDeliveries
+		res.ForeignDeliveries += a.foreignDeliveries
+		res.SnapshotDeliveries += a.snapshotDeliveries
+		res.SendErrors += a.sendErrors
+		res.Delays.Merge(&a.delays)
+		times = append(times, a.deliveryTimes...)
+		events = append(events, a.events...)
+	}
+	// Events merge by instant; the stable sort keeps lane order as the
+	// tie-break for same-instant events, and within-lane order intact.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	res.Events = events
+	res.Complete = res.DeliveredCount == res.ExpectedCount
+	res.CompletionAt = 0
+	if res.Complete && res.ExpectedCount > 0 {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		res.CompletionAt = times[len(times)-1]
+	}
+}
+
 func (rt *Runtime) finalize() {
+	rt.merge()
 	res := rt.result
 	res.NetStats = *rt.Net.Stats()
 	res.SourceHostLinkTransmissions = res.NetStats.HostLinkTransmissions[rt.Topo.Source]

@@ -26,6 +26,17 @@ func (d *Durations) Add(v time.Duration) {
 // Count returns the number of samples.
 func (d *Durations) Count() int { return len(d.samples) }
 
+// Merge appends every sample of o. Summary queries are order-blind, so
+// merging per-shard sample sets in any fixed order yields identical
+// statistics.
+func (d *Durations) Merge(o *Durations) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+}
+
 // Mean returns the average, or 0 with no samples.
 func (d *Durations) Mean() time.Duration {
 	if len(d.samples) == 0 {

@@ -227,11 +227,28 @@ func newStats() *Stats {
 	}
 }
 
+// laneCaches is one execution context's private routing and clustering
+// memo. Sharded runs give every lane its own slot (plus one for the
+// parked/global context) so lanes can lazily recompute routes after a
+// topology change without sharing mutable state.
+type laneCaches struct {
+	routeCache  map[ServerID]map[ServerID]ServerID
+	routeVer    uint64
+	clusterMemo map[HostID]int
+	clusterVer  uint64
+}
+
 // Network is the simulated communication subnetwork. It is driven by a
-// sim.Engine and is not safe for concurrent use (the engine is
-// single-threaded by design).
+// sim.Loop — the sequential engine or the sharded parallel engine. With
+// a shard plan applied (see ApplyShardPlan), transmissions run
+// concurrently on per-lane worker goroutines; every mutable piece of
+// network state is then either lane-partitioned (stats, caches, PRNG
+// draws) or frozen (topology maps), so the network needs no locks.
+// Topology mutations (Set*Up) and topology construction remain legal
+// only from parked contexts: build time, global events, or between Run
+// calls.
 type Network struct {
-	eng     *sim.Engine
+	eng     sim.Loop
 	servers map[ServerID]*server
 	links   map[LinkID]*link
 	hosts   map[HostID]*hostPort
@@ -240,58 +257,137 @@ type Network struct {
 	nextLink   LinkID
 
 	// version increments on every topology change; routing tables and the
-	// true-cluster map are cached per version.
-	version     uint64
-	routeCache  map[ServerID]map[ServerID]ServerID
-	routeVer    uint64
-	clusterMemo map[HostID]int
-	clusterVer  uint64
+	// true-cluster map are cached per version, per lane.
+	version uint64
+	// caches has one slot per lane plus a final slot for the
+	// parked/global context; before a shard plan is applied it is a
+	// single shared slot.
+	caches []laneCaches
 
-	stats *Stats
+	// statsLanes holds one counter set per lane; Stats merges them.
+	// Before a shard plan is applied there is a single set, shared.
+	statsLanes []*Stats
+
+	// Shard plan state: nil/0 until ApplyShardPlan.
+	lanes      int
+	serverLane map[ServerID]int
+	hostLane   map[HostID]int
+	planFrozen bool
 
 	// OnSend, if set, observes every host-level Send after it is
-	// classified (for metrics/tracing).
-	OnSend func(env Envelope, interCluster bool)
+	// classified (for metrics/tracing). lane is the executing lane (0
+	// without a shard plan); observers must confine mutable state per
+	// lane or synchronize it themselves.
+	OnSend func(lane int, env Envelope, interCluster bool)
 	// OnLinkTransmit, if set, observes every server-to-server link
-	// traversal (after loss is decided, before delay).
-	OnLinkTransmit func(link LinkID, class LinkClass, env Envelope)
+	// traversal (after loss is decided, before delay), on the executing
+	// lane.
+	OnLinkTransmit func(lane int, link LinkID, class LinkClass, env Envelope)
 	// OnHostLinkTransmit, if set, observes every host access-link
-	// traversal (in either direction).
-	OnHostLinkTransmit func(h HostID, env Envelope)
+	// traversal (in either direction), on the executing lane.
+	OnHostLinkTransmit func(lane int, h HostID, env Envelope)
 }
 
 // New returns an empty network driven by eng.
-func New(eng *sim.Engine) *Network {
+func New(eng sim.Loop) *Network {
 	if eng == nil {
 		panic("netsim: nil engine")
 	}
 	return &Network{
-		eng:     eng,
-		servers: make(map[ServerID]*server),
-		links:   make(map[LinkID]*link),
-		hosts:   make(map[HostID]*hostPort),
-		version: 1,
-		stats:   newStats(),
+		eng:        eng,
+		servers:    make(map[ServerID]*server),
+		links:      make(map[LinkID]*link),
+		hosts:      make(map[HostID]*hostPort),
+		version:    1,
+		caches:     make([]laneCaches, 1),
+		statsLanes: []*Stats{newStats()},
+		lanes:      1,
 	}
 }
 
-// Engine returns the driving simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine returns the driving simulation loop.
+func (n *Network) Engine() sim.Loop { return n.eng }
 
-// Stats returns the live counter set. Callers must not retain it across
-// network reconstruction.
-func (n *Network) Stats() *Stats { return n.stats }
+// Stats returns the run's counters. Without a shard plan this is the
+// live counter set (legacy behavior); with one it is a merged snapshot
+// of every lane's counters, valid to read from parked contexts only.
+func (n *Network) Stats() *Stats {
+	if len(n.statsLanes) == 1 {
+		return n.statsLanes[0]
+	}
+	merged := newStats()
+	for _, st := range n.statsLanes {
+		merged.add(st)
+	}
+	return merged
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o *Stats) {
+	s.HostSends += o.HostSends
+	s.Delivered += o.Delivered
+	s.InterClusterSends += o.InterClusterSends
+	s.Lost += o.Lost
+	s.Duplicated += o.Duplicated
+	s.DroppedLinkDown += o.DroppedLinkDown
+	s.DroppedNoRoute += o.DroppedNoRoute
+	for k, v := range o.LinkTransmissions {
+		s.LinkTransmissions[k] += v
+	}
+	for k, v := range o.PerLink {
+		s.PerLink[k] += v
+	}
+	for k, v := range o.HostLinkTransmissions {
+		s.HostLinkTransmissions[k] += v
+	}
+}
 
 // ResetStats zeroes all counters (topology is unchanged).
-func (n *Network) ResetStats() { n.stats = newStats() }
+func (n *Network) ResetStats() {
+	for i := range n.statsLanes {
+		n.statsLanes[i] = newStats()
+	}
+}
+
+// laneOfHost returns the lane executing traffic for host h (0 without a
+// shard plan).
+func (n *Network) laneOfHost(h HostID) int {
+	if n.hostLane == nil {
+		return 0
+	}
+	return n.hostLane[h]
+}
+
+// laneOfServer returns the lane owning server s (0 without a shard
+// plan).
+func (n *Network) laneOfServer(s ServerID) int {
+	if n.serverLane == nil {
+		return 0
+	}
+	return n.serverLane[s]
+}
+
+// globalLane indexes the cache slot reserved for parked/global-context
+// queries (the last slot; slot 0 before a shard plan is applied).
+func (n *Network) globalLane() int { return len(n.caches) - 1 }
 
 // AddServer creates a new server and returns its ID.
 func (n *Network) AddServer() ServerID {
+	n.checkNotFrozen()
 	n.nextServer++
 	id := n.nextServer
 	n.servers[id] = &server{id: id}
 	n.bump()
 	return id
+}
+
+// checkNotFrozen panics when topology construction is attempted after a
+// shard plan froze the partition; lanes are derived from the built
+// topology, so growing it afterwards would silently misroute work.
+func (n *Network) checkNotFrozen() {
+	if n.planFrozen {
+		panic("netsim: topology change after shard plan was applied")
+	}
 }
 
 // Servers returns all server IDs in ascending order.
@@ -307,6 +403,7 @@ func (n *Network) Servers() []ServerID {
 // AddLink joins servers a and b with a bidirectional link. The link
 // starts up.
 func (n *Network) AddLink(a, b ServerID, cfg LinkConfig) (LinkID, error) {
+	n.checkNotFrozen()
 	sa, ok := n.servers[a]
 	if !ok {
 		return 0, fmt.Errorf("netsim: unknown server %d", a)
@@ -334,6 +431,7 @@ func (n *Network) AddLink(a, b ServerID, cfg LinkConfig) (LinkID, error) {
 // AttachHost connects host h to server s with the given host-link
 // behaviour. Host IDs must be unique and positive.
 func (n *Network) AttachHost(h HostID, s ServerID, cfg LinkConfig) error {
+	n.checkNotFrozen()
 	if h <= 0 {
 		return fmt.Errorf("netsim: invalid host id %d", h)
 	}

@@ -39,17 +39,20 @@ func (q *spQueue) Pop() any {
 
 // routesFrom returns the next-hop table from src over currently-up links:
 // routes[dst] is the neighbour to forward to. Absent entries mean
-// unreachable. Tables are cached per topology version.
-func (n *Network) routesFrom(src ServerID) map[ServerID]ServerID {
-	if n.routeVer != n.version {
-		n.routeCache = make(map[ServerID]map[ServerID]ServerID)
-		n.routeVer = n.version
+// unreachable. Tables are cached per topology version, per lane: each
+// lane lazily recomputes its own view after a topology change, so
+// concurrent lanes never share a mutable cache.
+func (n *Network) routesFrom(lane int, src ServerID) map[ServerID]ServerID {
+	c := &n.caches[lane]
+	if c.routeVer != n.version {
+		c.routeCache = make(map[ServerID]map[ServerID]ServerID)
+		c.routeVer = n.version
 	}
-	if t, ok := n.routeCache[src]; ok {
+	if t, ok := c.routeCache[src]; ok {
 		return t
 	}
 	t := n.dijkstra(src)
-	n.routeCache[src] = t
+	c.routeCache[src] = t
 	return t
 }
 
@@ -91,8 +94,16 @@ func (n *Network) dijkstra(src ServerID) map[ServerID]ServerID {
 }
 
 // PathExists reports whether a route currently exists between the servers
-// of two hosts (and both host links are up).
+// of two hosts (and both host links are up). Callable from parked
+// contexts only; lane events (e.g. OnSend observers) must use
+// PathExistsOf with their executing lane.
 func (n *Network) PathExists(a, b HostID) bool {
+	return n.PathExistsOf(n.globalLane(), a, b)
+}
+
+// PathExistsOf is PathExists evaluated against the given lane's private
+// route cache, making it legal from that lane's events.
+func (n *Network) PathExistsOf(lane int, a, b HostID) bool {
 	ha, ok := n.hosts[a]
 	if !ok || !ha.up {
 		return false
@@ -104,7 +115,7 @@ func (n *Network) PathExists(a, b HostID) bool {
 	if ha.server == hb.server {
 		return true
 	}
-	_, ok = n.routesFrom(ha.server)[hb.server]
+	_, ok = n.routesFrom(lane, ha.server)[hb.server]
 	return ok
 }
 
@@ -115,9 +126,19 @@ func (n *Network) PathExists(a, b HostID) bool {
 // arbitrary but stable for a given topology version. This is simulator
 // ground truth used for generation and metrics only — protocol hosts
 // never see it.
+//
+// Callable from parked contexts only; lane events use trueClustersOf
+// via the transmit path.
 func (n *Network) TrueClusters() map[HostID]int {
-	if n.clusterVer == n.version && n.clusterMemo != nil {
-		return n.clusterMemo
+	return n.trueClustersOf(n.globalLane())
+}
+
+// trueClustersOf returns the clustering memoized in lane's private
+// cache slot.
+func (n *Network) trueClustersOf(lane int) map[HostID]int {
+	c := &n.caches[lane]
+	if c.clusterVer == n.version && c.clusterMemo != nil {
+		return c.clusterMemo
 	}
 	// Union-find over servers via up cheap links.
 	parent := make(map[ServerID]ServerID, len(n.servers))
@@ -161,8 +182,8 @@ func (n *Network) TrueClusters() map[HostID]int {
 		}
 		clusters[h] = num
 	}
-	n.clusterMemo = clusters
-	n.clusterVer = n.version
+	c.clusterMemo = clusters
+	c.clusterVer = n.version
 	return clusters
 }
 

@@ -5,6 +5,15 @@ import (
 	"time"
 )
 
+// Lane discipline: every transmission executes on the lane owning the
+// host/server it currently touches. A host's protocol code runs as lane
+// events on its own lane (or from a parked context), so Send derives the
+// executing lane from the sender. Host links never cross lanes (a host
+// shares its server's lane); server-to-server hops may, in which case
+// the hop's delay — at least the shard plan's lookahead for any
+// cross-lane link — rides through sim.Loop.ScheduleCross into the
+// destination lane's next epoch.
+
 // Send hands a message from host `from` to its server for delivery to
 // host `to`. This is the only communication service hosts get: a single
 // destination per call, exactly as the paper's nonprogrammable-server
@@ -22,6 +31,7 @@ func (n *Network) Send(from, to HostID, payload any) error {
 	if from == to {
 		return fmt.Errorf("netsim: host %d sending to itself", from)
 	}
+	lane := n.laneOfHost(from)
 	if src.transmit != nil {
 		// The transmit seam: a hook (an adversary controller) decides what
 		// actually hits the wire. The correct-host code above this call
@@ -32,82 +42,85 @@ func (n *Network) Send(from, to HostID, payload any) error {
 				// A hook emitting an unreachable or self destination is a
 				// behavior bug, not a network condition; drop silently like
 				// any other undeliverable traffic.
-				n.stats.DroppedNoRoute++
+				n.statsLanes[lane].DroppedNoRoute++
 				continue
 			}
-			n.transmitOne(src, out.To, out.Payload, out.ForceCostBit)
+			n.transmitOne(lane, src, out.To, out.Payload, out.ForceCostBit)
 		}
 		return nil
 	}
-	n.transmitOne(src, to, payload, false)
+	n.transmitOne(lane, src, to, payload, false)
 	return nil
 }
 
 // transmitOne pushes one concrete transmission into the network: stats,
 // observer hooks, then the sender's access link toward its server.
-func (n *Network) transmitOne(src *hostPort, to HostID, payload any, forceCost bool) {
-	env := Envelope{From: src.id, To: to, CostBit: forceCost, Payload: payload, SentAt: n.eng.Now()}
-	n.stats.HostSends++
+func (n *Network) transmitOne(lane int, src *hostPort, to HostID, payload any, forceCost bool) {
+	env := Envelope{From: src.id, To: to, CostBit: forceCost, Payload: payload, SentAt: n.eng.NowOf(lane)}
+	st := n.statsLanes[lane]
+	st.HostSends++
 	inter := false
-	clusters := n.TrueClusters()
+	clusters := n.trueClustersOf(lane)
 	if clusters[src.id] != clusters[to] {
 		inter = true
-		n.stats.InterClusterSends++
+		st.InterClusterSends++
 	}
 	if n.OnSend != nil {
-		n.OnSend(env, inter)
+		n.OnSend(lane, env, inter)
 	}
 	// First hop: the sender's access link up to its server.
-	n.traverseHostLink(src, env, func(env Envelope) {
-		n.arriveAtServer(src.server, env)
+	n.traverseHostLink(lane, src, env, func(env Envelope) {
+		n.arriveAtServer(lane, src.server, env)
 	})
 }
 
 // traverseHostLink models one traversal of a host access link (in either
 // direction), applying its delay, loss, and duplication, then invoking
-// next with the (possibly cost-marked) envelope.
-func (n *Network) traverseHostLink(hp *hostPort, env Envelope, next func(Envelope)) {
+// next with the (possibly cost-marked) envelope. Host links never cross
+// lanes: the executing lane owns both the host and its server.
+func (n *Network) traverseHostLink(lane int, hp *hostPort, env Envelope, next func(Envelope)) {
+	st := n.statsLanes[lane]
 	if !hp.up {
-		n.stats.DroppedLinkDown++
+		st.DroppedLinkDown++
 		return
 	}
-	n.stats.LinkTransmissions[hp.cfg.Class]++
-	n.stats.HostLinkTransmissions[hp.id]++
+	st.LinkTransmissions[hp.cfg.Class]++
+	st.HostLinkTransmissions[hp.id]++
 	if n.OnHostLinkTransmit != nil {
-		n.OnHostLinkTransmit(hp.id, env)
+		n.OnHostLinkTransmit(lane, hp.id, env)
 	}
 	if hp.cfg.Class == Expensive {
 		env.CostBit = true
 	}
 	env.Hops++
-	n.deliverAcross(hp.cfg, env, next)
+	n.deliverAcross(lane, lane, hp.cfg, env, next)
 }
 
 // arriveAtServer is the per-hop forwarding decision: the server consults
 // its current routing table (adaptive: recomputed on topology change) and
 // forwards toward the destination's server, or up the destination's host
-// link if it is local.
-func (n *Network) arriveAtServer(at ServerID, env Envelope) {
+// link if it is local. lane is the executing lane, which owns server at.
+func (n *Network) arriveAtServer(lane int, at ServerID, env Envelope) {
 	// Adaptive routing can loop transiently while tables converge after a
 	// failure; a hop budget bounds such messages' lifetime, and the drop
 	// is silent, as all drops are in this model.
 	if env.Hops > 4+2*len(n.servers) {
-		n.stats.DroppedNoRoute++
+		n.statsLanes[lane].DroppedNoRoute++
 		return
 	}
 	dst := n.hosts[env.To]
 	if at == dst.server {
-		n.traverseHostLink(dst, env, func(env Envelope) {
-			n.stats.Delivered++
+		n.traverseHostLink(lane, dst, env, func(env Envelope) {
+			n.statsLanes[lane].Delivered++
 			if dst.handler != nil {
-				dst.handler(n.eng.Now(), env)
+				dst.handler(n.eng.NowOf(lane), env)
 			}
 		})
 		return
 	}
-	nextHop, ok := n.routesFrom(at)[dst.server]
+	nextHop, ok := n.routesFrom(lane, at)[dst.server]
 	if !ok {
-		n.stats.DroppedNoRoute++
+		n.statsLanes[lane].DroppedNoRoute++
 		return
 	}
 	l := n.upLinkBetween(at, nextHop)
@@ -115,20 +128,22 @@ func (n *Network) arriveAtServer(at ServerID, env Envelope) {
 		// Routing table says nextHop but the link vanished between the
 		// route computation and this traversal; with lazy per-version
 		// recomputation this cannot normally happen, but guard anyway.
-		n.stats.DroppedLinkDown++
+		n.statsLanes[lane].DroppedLinkDown++
 		return
 	}
-	n.stats.LinkTransmissions[l.cfg.Class]++
-	n.stats.PerLink[l.id]++
+	st := n.statsLanes[lane]
+	st.LinkTransmissions[l.cfg.Class]++
+	st.PerLink[l.id]++
 	if n.OnLinkTransmit != nil {
-		n.OnLinkTransmit(l.id, l.cfg.Class, env)
+		n.OnLinkTransmit(lane, l.id, l.cfg.Class, env)
 	}
 	if l.cfg.Class == Expensive {
 		env.CostBit = true
 	}
 	env.Hops++
-	n.deliverAcross(l.cfg, env, func(env Envelope) {
-		n.arriveAtServer(nextHop, env)
+	nextLane := n.laneOfServer(nextHop)
+	n.deliverAcross(lane, nextLane, l.cfg, env, func(env Envelope) {
+		n.arriveAtServer(nextLane, nextHop, env)
 	})
 }
 
@@ -150,17 +165,22 @@ func (n *Network) upLinkBetween(a, b ServerID) *link {
 }
 
 // deliverAcross applies a link's loss, duplication, and delay+jitter,
-// scheduling next for each surviving copy.
-func (n *Network) deliverAcross(cfg LinkConfig, env Envelope, next func(Envelope)) {
-	rng := n.eng.Rand()
+// scheduling next for each surviving copy. Randomness draws from the
+// executing (sending) lane's stream, so the draw sequence depends only
+// on that lane's deterministic event order; the continuation runs on
+// toLane (jitter is additive, so a cross-lane hop's delay never falls
+// below the link's base Delay — the shard plan's lookahead bound).
+func (n *Network) deliverAcross(fromLane, toLane int, cfg LinkConfig, env Envelope, next func(Envelope)) {
+	rng := n.eng.RandOf(fromLane)
+	st := n.statsLanes[fromLane]
 	if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
-		n.stats.Lost++
+		st.Lost++
 		return
 	}
 	copies := 1
 	if cfg.DupProb > 0 && rng.Float64() < cfg.DupProb {
 		copies = 2
-		n.stats.Duplicated++
+		st.Duplicated++
 	}
 	for i := 0; i < copies; i++ {
 		d := cfg.Delay
@@ -168,6 +188,6 @@ func (n *Network) deliverAcross(cfg LinkConfig, env Envelope, next func(Envelope
 			d += time.Duration(rng.Int63n(int64(cfg.Jitter)))
 		}
 		env := env
-		n.eng.Schedule(d, func() { next(env) })
+		n.eng.ScheduleCross(fromLane, toLane, d, func() { next(env) })
 	}
 }

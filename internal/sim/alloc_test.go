@@ -65,3 +65,35 @@ func TestCancelCompactZeroAllocs(t *testing.T) {
 		t.Errorf("schedule/cancel/compact cycle: %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// The cross-lane mailbox contract: once rows and destination heaps have
+// reached working capacity, an enqueue (ScheduleCross) / drain / run
+// cycle performs no heap allocation — the barrier path of the sharded
+// engine stays garbage-free no matter how much traffic crosses lanes.
+func TestMailboxEnqueueDrainZeroAllocs(t *testing.T) {
+	s := NewSharded(1, 1)
+	s.SetLanes([]int{1, 1}, time.Millisecond)
+	ran := 0
+	fn := Event(func() { ran++ })
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			s.ScheduleCross(0, 1, time.Duration(i+1)*time.Millisecond, fn)
+			s.ScheduleCross(1, 0, time.Duration(i+1)*time.Millisecond, fn)
+			s.ScheduleCross(0, 0, time.Duration(i)*time.Microsecond, fn)
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm rows, heaps, and the lane engines past the working set.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(200, cycle)
+	if ran == 0 {
+		t.Fatal("no events ran")
+	}
+	if allocs != 0 {
+		t.Errorf("enqueue/drain/run cycle: %.1f allocs/op, want 0", allocs)
+	}
+}

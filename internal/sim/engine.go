@@ -35,7 +35,9 @@ type scheduledEvent struct {
 	seq uint64 // insertion order; tie-break for same-instant events
 	fn  Event
 	// cell carries the cancellation flag; recycled via the engine's free
-	// list once the event pops.
+	// list once the event pops. Events admitted through pushCross (the
+	// sharded engine's mailbox drain) carry a nil cell: they are not
+	// cancelable and never count toward compaction.
 	cell *cancelCell
 }
 
@@ -146,6 +148,22 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
 	return Timer{e: e, cell: cell, gen: cell.gen}
 }
 
+// pushCross admits an event at an absolute instant without allocating a
+// cancel cell; the event cannot be canceled. This is the admission seam
+// for the sharded engine's mailbox drain: cross-lane events arrive with
+// a precomputed absolute time and must not touch the cell free list
+// (getCell may allocate, and drains run on the hot barrier path). An
+// instant in the engine's past is clamped to now.
+//
+//rblint:hotpath mailbox drain runs once per lane pair per epoch barrier
+func (e *Engine) pushCross(at time.Duration, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
 // The event queue is a 4-ary implicit min-heap: children of slot i live
 // at 4i+1..4i+4. The wider fan-out roughly halves the sift depth of a
 // binary heap and keeps hot comparisons within one cache line of
@@ -241,7 +259,7 @@ func (e *Engine) maybeCompact() {
 	}
 	kept := e.events[:0]
 	for _, ev := range e.events {
-		if ev.cell.canceled {
+		if ev.cell != nil && ev.cell.canceled {
 			e.releaseCell(ev.cell)
 			continue
 		}
@@ -262,6 +280,16 @@ func (e *Engine) maybeCompact() {
 // in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peekMin reports the instant of the earliest scheduled event. Canceled
+// entries are included: the sharded coordinator uses this as a barrier
+// bound, and a bound that is slightly early is merely conservative.
+func (e *Engine) peekMin() (time.Duration, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // step pops and executes the next event. It reports whether an event ran.
 func (e *Engine) step(limit time.Duration, bounded bool) (bool, error) {
 	for len(e.events) > 0 {
@@ -270,12 +298,14 @@ func (e *Engine) step(limit time.Duration, bounded bool) (bool, error) {
 			return false, nil
 		}
 		e.popRoot()
-		if next.cell.canceled {
-			e.canceledPending--
+		if next.cell != nil {
+			if next.cell.canceled {
+				e.canceledPending--
+				e.releaseCell(next.cell)
+				continue
+			}
 			e.releaseCell(next.cell)
-			continue
 		}
-		e.releaseCell(next.cell)
 		if next.at > e.now {
 			e.now = next.at
 		}
@@ -292,7 +322,15 @@ func (e *Engine) step(limit time.Duration, bounded bool) (bool, error) {
 // Run executes events until the virtual clock would pass until, then sets
 // the clock to until. Events scheduled exactly at until do fire. It
 // returns ErrStopped if Stop was called.
+//
+// A Stop that arrives outside a run (or raced the end of the previous
+// one) is honored before any event executes: Run returns ErrStopped and
+// leaves the clock untouched rather than advancing it to until.
 func (e *Engine) Run(until time.Duration) error {
+	if e.stopped {
+		e.stopped = false
+		return ErrStopped
+	}
 	if until < e.now {
 		return fmt.Errorf("sim: Run until %v is before now %v", until, e.now)
 	}
@@ -340,7 +378,14 @@ func (e *Engine) Every(period time.Duration, fn Event) Timer {
 // RunUntilIdle executes events until none remain. It returns ErrStopped
 // if Stop was called. Use with care: periodic timers that reschedule
 // themselves never drain.
+//
+// Like Run, a Stop pending from outside a run is honored before any
+// event executes.
 func (e *Engine) RunUntilIdle() error {
+	if e.stopped {
+		e.stopped = false
+		return ErrStopped
+	}
 	for {
 		ran, err := e.step(0, false)
 		if err != nil {

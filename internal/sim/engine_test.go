@@ -385,3 +385,74 @@ func TestCancelAfterFireIsNoOp(t *testing.T) {
 		t.Fatal("stale Timer.Cancel killed an unrelated event")
 	}
 }
+
+// Regression: a Stop that lands outside a run (or races the end of one)
+// must be honored by the next Run before any event executes — and must
+// not advance the clock to until. Previously a pending Stop with an
+// empty due-window was silently swallowed while the clock jumped.
+func TestStopPendingLeavesClockUntouched(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(5*time.Millisecond, func() { fired = true })
+	e.Stop()
+	if err := e.Run(10 * time.Millisecond); err != ErrStopped {
+		t.Fatalf("Run with pending Stop returned %v, want ErrStopped", err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v on the ErrStopped path, want 0", e.Now())
+	}
+	if fired {
+		t.Error("event ran despite pending Stop")
+	}
+	// The Stop is consumed: the next Run proceeds normally.
+	if err := e.Run(10 * time.Millisecond); err != nil {
+		t.Fatalf("Run after consumed Stop: %v", err)
+	}
+	if !fired {
+		t.Error("event did not run after the Stop was consumed")
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Errorf("clock = %v after clean Run, want 10ms", e.Now())
+	}
+}
+
+func TestStopPendingRunUntilIdle(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(time.Millisecond, func() { fired = true })
+	e.Stop()
+	if err := e.RunUntilIdle(); err != ErrStopped {
+		t.Fatalf("RunUntilIdle with pending Stop returned %v, want ErrStopped", err)
+	}
+	if fired || e.Now() != 0 {
+		t.Errorf("fired=%t now=%v after ErrStopped, want false/0", fired, e.Now())
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event did not run after the Stop was consumed")
+	}
+}
+
+// A mid-run Stop leaves the clock at the stopping event's instant, and
+// the following Run must still not teleport the clock past events that
+// remain scheduled.
+func TestStopMidRunClockStaysAtEvent(t *testing.T) {
+	e := NewEngine(1)
+	var later bool
+	e.Schedule(3*time.Millisecond, func() { e.Stop() })
+	e.Schedule(7*time.Millisecond, func() { later = true })
+	if err := e.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("clock = %v at Stop, want 3ms", e.Now())
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !later {
+		t.Error("remaining event lost after mid-run Stop")
+	}
+}

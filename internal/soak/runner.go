@@ -21,6 +21,15 @@ type Config struct {
 	// Workers sizes the pool; default GOMAXPROCS. Worker count never
 	// affects per-seed results, only wall time.
 	Workers int
+	// Shards, when positive, runs every scenario on the sharded parallel
+	// engine with that many per-scenario workers (harness
+	// Scenario.Shards). Like Workers, any positive value yields
+	// byte-identical per-seed reports — the lane partition derives from
+	// the topology, not the shard count — but sharded reports differ
+	// from sequential (Shards == 0) ones, which draw from a single PRNG
+	// stream. Shards is runner configuration, not part of the Spec: a
+	// replayed seed reproduces at any shard count.
+	Shards int
 	// Budget bounds wall-clock time: once exceeded, no further seeds are
 	// dispatched (in-flight seeds finish). Zero means no bound.
 	Budget time.Duration
@@ -146,7 +155,7 @@ func Run(cfg Config) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for seed := range seedCh {
-				r := RunSeed(cfg.Class, seed)
+				r := RunSeedShards(cfg.Class, seed, cfg.Shards)
 				results[seed-cfg.SeedStart] = &r
 				done.Inc()
 				if !r.Pass {
@@ -192,12 +201,26 @@ func RunSeed(class Class, seed int64) SeedReport {
 	return RunSpec(NewSpec(class, seed))
 }
 
+// RunSeedShards is RunSeed on the sharded parallel engine (0 keeps the
+// sequential engine).
+func RunSeedShards(class Class, seed int64, shards int) SeedReport {
+	return RunSpecShards(NewSpec(class, seed), shards)
+}
+
 // RunSpec runs one fully specified scenario: build, run to the horizon
 // (stopping early on completion), settle, check invariants. A failed
 // structural check gets one extra settle-and-recheck, so a tree caught
 // mid-reattachment is not misreported — the retry is itself
 // deterministic, part of the seed's defined computation.
 func RunSpec(sp Spec) SeedReport {
+	return RunSpecShards(sp, 0)
+}
+
+// RunSpecShards is RunSpec with the scenario executed on shards parallel
+// workers (0 keeps the sequential engine). The shard count is execution
+// configuration, never part of the seed's definition: any positive value
+// produces the same report bytes.
+func RunSpecShards(sp Spec, shards int) SeedReport {
 	rep := SeedReport{
 		Seed:     sp.Seed,
 		Hosts:    sp.Hosts(),
@@ -213,6 +236,7 @@ func RunSpec(sp Spec) SeedReport {
 	if err != nil {
 		return fail("error: building scenario: %v", err)
 	}
+	sc.Shards = shards
 	rt, err := harness.Prepare(sc)
 	if err != nil {
 		return fail("error: preparing runtime: %v", err)

@@ -549,7 +549,7 @@ func (sp Spec) Scenario() (harness.Scenario, error) {
 		Name:  fmt.Sprintf("soak/%s/%d", sp.Class, sp.Seed),
 		Seed:  sp.Seed,
 		Order: order,
-		Build: func(eng *sim.Engine) (*topo.Topology, error) {
+		Build: func(eng sim.Loop) (*topo.Topology, error) {
 			t, err := topo.Clustered(eng, topo.ClusteredConfig{
 				Clusters:        sp.Clusters,
 				HostsPerCluster: sp.HostsPerCluster,

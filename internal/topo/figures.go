@@ -17,7 +17,7 @@ import (
 // separately addressed copies, so link s1–s4 is traversed twice. All
 // links are expensive here, putting each host in its own cluster, so the
 // paper's inter-cluster cost metric applies directly.
-func Figure31(eng *sim.Engine) (*Topology, error) {
+func Figure31(eng sim.Loop) (*Topology, error) {
 	n := netsim.New(eng)
 	s1, s2, s3, s4 := n.AddServer(), n.AddServer(), n.AddServer(), n.AddServer()
 	exp := netsim.LinkConfig{Class: netsim.Expensive}
@@ -57,7 +57,7 @@ func Figure31(eng *sim.Engine) (*Topology, error) {
 // discussion (§4.1): MergeFigure32Clusters adds a cheap path between C″
 // and C, merging them, after which the host parent graph no longer
 // induces a cluster tree until the procedure re-converges.
-func Figure32(eng *sim.Engine) (*Topology, error) {
+func Figure32(eng sim.Loop) (*Topology, error) {
 	n := netsim.New(eng)
 	t := &Topology{
 		Net:        n,
@@ -118,7 +118,7 @@ func MergeFigure32Clusters(t *Topology) (netsim.LinkID, error) {
 // server isolates s while leaving i–j connected — the configuration in
 // which only non-neighbour gap filling can reconcile i's and j's
 // complementary gaps.
-func Figure41(eng *sim.Engine) (*Topology, error) {
+func Figure41(eng sim.Loop) (*Topology, error) {
 	n := netsim.New(eng)
 	s1, s2, s3 := n.AddServer(), n.AddServer(), n.AddServer()
 	exp := netsim.LinkConfig{Class: netsim.Expensive}

@@ -102,7 +102,7 @@ func (c ClusteredConfig) withDefaults() (ClusteredConfig, error) {
 // cluster's hub (the first server). Hubs are interconnected by expensive
 // links per the chosen shape. Host 1 (in cluster 0) is the source.
 // Construction is fully deterministic.
-func Clustered(eng *sim.Engine, cfg ClusteredConfig) (*Topology, error) {
+func Clustered(eng sim.Loop, cfg ClusteredConfig) (*Topology, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err

@@ -102,7 +102,7 @@ func Simulate(cfg SimulationConfig) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("rbcast: unknown algorithm %d", cfg.Algorithm)
 	}
-	build := func(eng *sim.Engine) (*topo.Topology, error) {
+	build := func(eng sim.Loop) (*topo.Topology, error) {
 		return topo.Clustered(eng, topo.ClusteredConfig{
 			Clusters:        cfg.Clusters,
 			HostsPerCluster: cfg.HostsPerCluster,
