@@ -11,10 +11,11 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the protocol-aware analyzer suite (alloclint, detlint,
-# leaklint, locklint, monolint, ordlint, paramlint, sharelint,
-# taintlint, wirelint) over one whole-program call graph against the
-# committed baseline; see internal/analysis/README.md. New findings fail
-# the run; accepted ones live in .rblint-baseline.json.
+# lanelint, leaklint, locklint, monolint, ordlint, paramlint,
+# quorumlint, sharelint, taintlint, wirelint) over one whole-program
+# call graph against the committed baseline; see
+# internal/analysis/README.md. New findings fail the run; accepted ones
+# live in .rblint-baseline.json.
 lint:
 	$(GO) run ./cmd/rblint -baseline .rblint-baseline.json ./...
 
@@ -23,19 +24,29 @@ lint:
 lint-sarif:
 	$(GO) run ./cmd/rblint -baseline .rblint-baseline.json -sarif rblint.sarif ./...
 
-# lint-selftest proves the concurrency analyzers still bite: rblint runs
-# over the deliberately-broken fixture (checked as rbcast/internal/udp,
-# so the path-scoped analyzers are in jurisdiction) and must exit 1 with
-# sharelint, ordlint, and alloclint findings in the SARIF log. A passing
-# fixture run means an analyzer fell silent — that fails CI.
+# lint-selftest proves the analyzers still bite: rblint runs over the
+# deliberately-broken fixtures, each checked under an in-scope import
+# path so the path-scoped analyzers are in jurisdiction, and must exit 1
+# with sharelint, ordlint, alloclint, lanelint, and quorumlint findings
+# in the SARIF logs. A passing fixture run means an analyzer fell silent
+# — that fails CI. SARIF output lands under a throwaway temp dir, never
+# in the tree.
 lint-selftest:
-	@$(GO) run ./cmd/rblint -as rbcast/internal/udp -sarif rblint-selftest.sarif internal/analysis/testdata/broken; \
-	status=$$?; \
-	if [ $$status -ne 1 ]; then echo "lint-selftest: expected exit 1 (findings), got $$status"; exit 1; fi
-	@for rule in sharelint ordlint alloclint; do \
-		grep -q "\"ruleId\": \"$$rule\"" rblint-selftest.sarif || { echo "lint-selftest: no $$rule finding in rblint-selftest.sarif"; exit 1; }; \
-	done
-	@echo "lint-selftest: ok (sharelint, ordlint, alloclint all firing)"
+	@tmp=$$(mktemp -d) || exit 1; \
+	fail() { echo "lint-selftest: $$1"; rm -rf "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/rblint -as rbcast/internal/udp -sarif "$$tmp/broken.sarif" internal/analysis/testdata/broken; \
+	[ $$? -eq 1 ] || fail "broken: expected exit 1 (findings)"; \
+	$(GO) run ./cmd/rblint -as rbcast/internal/sim -sarif "$$tmp/lane.sarif" internal/analysis/testdata/lane; \
+	[ $$? -eq 1 ] || fail "lane: expected exit 1 (findings)"; \
+	$(GO) run ./cmd/rblint -as rbcast/internal/core -sarif "$$tmp/quorum.sarif" internal/analysis/testdata/quorum; \
+	[ $$? -eq 1 ] || fail "quorum: expected exit 1 (findings)"; \
+	for rule in sharelint ordlint alloclint; do \
+		grep -q "\"ruleId\": \"$$rule\"" "$$tmp/broken.sarif" || fail "no $$rule finding for testdata/broken"; \
+	done; \
+	grep -q '"ruleId": "lanelint"' "$$tmp/lane.sarif" || fail "no lanelint finding for testdata/lane"; \
+	grep -q '"ruleId": "quorumlint"' "$$tmp/quorum.sarif" || fail "no quorumlint finding for testdata/quorum"; \
+	rm -rf "$$tmp"; \
+	echo "lint-selftest: ok (sharelint, ordlint, alloclint, lanelint, quorumlint all firing)"
 
 test:
 	$(GO) test ./...
@@ -125,3 +136,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
+	rm -f rblint.sarif rblint-selftest.sarif bench-smoke.json

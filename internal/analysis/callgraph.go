@@ -190,6 +190,14 @@ type Program struct {
 	ordDone    bool
 	allocDiags []progDiag
 	allocDone  bool
+	laneDiags  []progDiag
+	laneDone   bool
+
+	// Abstract-interpretation caches (see intervals.go, effects.go):
+	// per-function interval fixpoints and Loop-effect summaries.
+	ivFacts      map[*FuncNode]*intervalFacts
+	ivInProgress map[*FuncNode]bool
+	loopEffects  map[*FuncNode]*loopEffects
 }
 
 // progDiag is a whole-program diagnostic tagged with the package it
@@ -211,6 +219,9 @@ func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
 		exitCache:       make(map[*FuncNode]bool),
 		lockSummaries:   make(map[*FuncNode]*lockSummary),
 		lockInProgress:  make(map[*FuncNode]bool),
+		ivFacts:         make(map[*FuncNode]*intervalFacts),
+		ivInProgress:    make(map[*FuncNode]bool),
+		loopEffects:     make(map[*FuncNode]*loopEffects),
 	}
 	for _, pkg := range pkgs {
 		p.byTypes[pkg.Types] = pkg

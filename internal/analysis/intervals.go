@@ -1,0 +1,1335 @@
+package analysis
+
+// intervals.go — the abstract-interpretation layer: an integer interval
+// domain with the usual transfer functions, a forward interval analysis
+// over the CFG (narrowing at comparisons, widening at loop heads,
+// one-level memoized call summaries like dataflow.go), and a small
+// relational extension — affine forms over symbolic variables with
+// interned truncated-division atoms — strong enough to prove the quorum
+// inequalities quorumlint checks (see quorumlint.go) for *all* admitted
+// parameter values, not just sampled ones.
+//
+// The interval half is deliberately classical: values are [Lo, Hi] pairs
+// of int64 with math.MinInt64/MaxInt64 as -inf/+inf sentinels, transfer
+// functions saturate toward the sentinels (saturation = "may exceed the
+// representable range", which the overflow checks treat as a failure to
+// prove), joins/meets/widening/narrowing are the textbook operations,
+// and branch conditions narrow both operands.
+//
+// The relational half represents values as affine forms c₀ + Σ cᵢ·vᵢ
+// with exact rational coefficients. Truncated integer division by a
+// positive constant is interned as an opaque *atom* variable whose
+// interval bounds follow from its numerator (Go's truncated division is
+// monotone for positive divisors). A proof obligation `form ≥ 0` may
+// *expand* an atom a = A/c into (A − r)/c with a fresh slack variable
+// r ∈ [0, c−1] — exact when A ≥ 0 — which lets symbolically equal parts
+// of quorum expressions cancel; the prover enumerates per-atom
+// expand/opaque strategies and succeeds if any combination bounds the
+// form's minimum at ≥ 0.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+const (
+	ivNegInf = math.MinInt64
+	ivPosInf = math.MaxInt64
+)
+
+// An Interval is a set of int64 values [Lo, Hi]. Lo == math.MinInt64
+// means unbounded below, Hi == math.MaxInt64 unbounded above; Lo > Hi is
+// the empty interval (bottom).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// IvTop is the unbounded interval.
+var IvTop = Interval{ivNegInf, ivPosInf}
+
+// IvBottom is the empty interval.
+var IvBottom = Interval{1, 0}
+
+// IvConst is the singleton interval {c}.
+func IvConst(c int64) Interval { return Interval{c, c} }
+
+// IvRange is the interval [lo, hi].
+func IvRange(lo, hi int64) Interval { return Interval{lo, hi} }
+
+// IsBottom reports whether the interval is empty.
+func (iv Interval) IsBottom() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports whether the interval is unbounded on both sides.
+func (iv Interval) IsTop() bool { return iv.Lo == ivNegInf && iv.Hi == ivPosInf }
+
+// Const reports the single value of a singleton interval.
+func (iv Interval) Const() (int64, bool) {
+	if iv.Lo == iv.Hi && iv.Lo != ivNegInf && iv.Lo != ivPosInf {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// String renders the interval for goldens: "[2,5]", "[0,+inf]", "bot".
+func (iv Interval) String() string {
+	if iv.IsBottom() {
+		return "bot"
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != ivNegInf {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi != ivPosInf {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// satAdd adds with sentinel propagation and saturation on overflow.
+func satAdd(a, b int64) int64 {
+	if a == ivNegInf || b == ivNegInf {
+		return ivNegInf
+	}
+	if a == ivPosInf || b == ivPosInf {
+		return ivPosInf
+	}
+	s := a + b
+	if b > 0 && s < a {
+		return ivPosInf
+	}
+	if b < 0 && s > a {
+		return ivNegInf
+	}
+	return s
+}
+
+// satNeg negates with sentinel swap (-MinInt64 saturates).
+func satNeg(a int64) int64 {
+	switch a {
+	case ivNegInf:
+		return ivPosInf
+	case ivPosInf:
+		return ivNegInf
+	}
+	return -a
+}
+
+func satSub(a, b int64) int64 { return satAdd(a, satNeg(b)) }
+
+// satMul multiplies exactly via big.Int and saturates out-of-range
+// products (0 × inf is 0: the sentinel stands for "some huge value").
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == ivNegInf || a == ivPosInf || b == ivNegInf || b == ivPosInf {
+		if (a > 0) == (b > 0) {
+			return ivPosInf
+		}
+		return ivNegInf
+	}
+	p := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	return clampBig(p)
+}
+
+func clampBig(v *big.Int) int64 {
+	if !v.IsInt64() {
+		if v.Sign() > 0 {
+			return ivPosInf
+		}
+		return ivNegInf
+	}
+	return v.Int64()
+}
+
+// satQuo is Go's truncated division on bounds: a sentinel dividend stays
+// a sentinel (sign-adjusted by the divisor), a sentinel divisor pulls a
+// finite dividend to 0.
+func satQuo(a, b int64) int64 {
+	aInf := a == ivNegInf || a == ivPosInf
+	bInf := b == ivNegInf || b == ivPosInf
+	switch {
+	case aInf:
+		if (a > 0) == (b > 0) {
+			return ivPosInf
+		}
+		return ivNegInf
+	case bInf:
+		return 0
+	case b == 0:
+		return 0 // callers split out the zero divisor before asking
+	}
+	return a / b
+}
+
+func min4(a, b, c, d int64) int64 { return min(min(a, b), min(c, d)) }
+func max4(a, b, c, d int64) int64 { return max(max(a, b), max(c, d)) }
+
+// IvJoin is the least upper bound (interval hull).
+func IvJoin(a, b Interval) Interval {
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	return Interval{min(a.Lo, b.Lo), max(a.Hi, b.Hi)}
+}
+
+// IvMeet is the greatest lower bound (intersection).
+func IvMeet(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom
+	}
+	m := Interval{max(a.Lo, b.Lo), min(a.Hi, b.Hi)}
+	if m.IsBottom() {
+		return IvBottom
+	}
+	return m
+}
+
+// IvWiden accelerates convergence at loop heads: a bound that grew since
+// the previous iterate jumps straight to its infinity.
+func IvWiden(old, next Interval) Interval {
+	if old.IsBottom() {
+		return next
+	}
+	if next.IsBottom() {
+		return old
+	}
+	lo, hi := old.Lo, old.Hi
+	if next.Lo < lo {
+		lo = ivNegInf
+	}
+	if next.Hi > hi {
+		hi = ivPosInf
+	}
+	return Interval{lo, hi}
+}
+
+// IvNarrow recovers precision after widening: an infinite bound of wide
+// is replaced by refined's (finite or not); finite bounds are kept.
+func IvNarrow(wide, refined Interval) Interval {
+	if wide.IsBottom() || refined.IsBottom() {
+		return refined
+	}
+	lo, hi := wide.Lo, wide.Hi
+	if lo == ivNegInf {
+		lo = refined.Lo
+	}
+	if hi == ivPosInf {
+		hi = refined.Hi
+	}
+	if lo > hi {
+		return wide
+	}
+	return Interval{lo, hi}
+}
+
+// IvAdd, IvSub, IvNeg, IvMul — arithmetic transfer functions.
+func IvAdd(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom
+	}
+	return Interval{satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)}
+}
+
+func IvSub(a, b Interval) Interval { return IvAdd(a, IvNeg(b)) }
+
+func IvNeg(a Interval) Interval {
+	if a.IsBottom() {
+		return IvBottom
+	}
+	return Interval{satNeg(a.Hi), satNeg(a.Lo)}
+}
+
+func IvMul(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom
+	}
+	p1, p2 := satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi)
+	p3, p4 := satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi)
+	return Interval{min4(p1, p2, p3, p4), max4(p1, p2, p3, p4)}
+}
+
+// IvDiv is Go's truncated quotient. The divisor is split into its
+// negative and positive parts (a division by zero panics at runtime, so
+// that slice of the domain contributes nothing); within a sign-fixed
+// divisor range the quotient is monotone in each operand, so the
+// extremes are at the corners.
+func IvDiv(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom
+	}
+	out := IvBottom
+	if b.Lo <= -1 {
+		out = IvJoin(out, divCorners(a, Interval{b.Lo, min(b.Hi, -1)}))
+	}
+	if b.Hi >= 1 {
+		out = IvJoin(out, divCorners(a, Interval{max(b.Lo, 1), b.Hi}))
+	}
+	return out
+}
+
+func divCorners(a, b Interval) Interval {
+	q1, q2 := satQuo(a.Lo, b.Lo), satQuo(a.Lo, b.Hi)
+	q3, q4 := satQuo(a.Hi, b.Lo), satQuo(a.Hi, b.Hi)
+	return Interval{min4(q1, q2, q3, q4), max4(q1, q2, q3, q4)}
+}
+
+// IvMod bounds Go's remainder: the result has the dividend's sign and
+// magnitude below max(|b.Lo|, |b.Hi|).
+func IvMod(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom
+	}
+	if b.Lo == 0 && b.Hi == 0 {
+		return IvBottom // always panics
+	}
+	m := satSub(max(satNeg(b.Lo), b.Hi), 1)
+	if m < 0 {
+		m = 0
+	}
+	lo, hi := satNeg(m), m
+	if a.Lo >= 0 {
+		lo = 0
+		hi = min(hi, a.Hi)
+	}
+	if a.Hi <= 0 && a.Lo != ivNegInf || a.Hi == 0 {
+		hi = min(hi, 0)
+		lo = max(lo, a.Lo)
+	}
+	return Interval{lo, hi}
+}
+
+// IvShl is a << k for k clamped to [0, 63] (a negative shift count
+// panics; counts past 63 saturate any nonzero operand).
+func IvShl(a, k Interval) Interval {
+	if a.IsBottom() || k.IsBottom() {
+		return IvBottom
+	}
+	kLo, kHi := clampShift(k.Lo), clampShift(k.Hi)
+	c1, c2 := shlSat(a.Lo, kLo), shlSat(a.Lo, kHi)
+	c3, c4 := shlSat(a.Hi, kLo), shlSat(a.Hi, kHi)
+	return Interval{min4(c1, c2, c3, c4), max4(c1, c2, c3, c4)}
+}
+
+// IvShr is a >> k (arithmetic) for k clamped to [0, 63].
+func IvShr(a, k Interval) Interval {
+	if a.IsBottom() || k.IsBottom() {
+		return IvBottom
+	}
+	kLo, kHi := clampShift(k.Lo), clampShift(k.Hi)
+	c1, c2 := shrSat(a.Lo, kLo), shrSat(a.Lo, kHi)
+	c3, c4 := shrSat(a.Hi, kLo), shrSat(a.Hi, kHi)
+	return Interval{min4(c1, c2, c3, c4), max4(c1, c2, c3, c4)}
+}
+
+func clampShift(k int64) int64 { return max(0, min(k, 63)) }
+
+func shlSat(x, k int64) int64 {
+	if x == ivNegInf || x == ivPosInf || x == 0 {
+		return x
+	}
+	p := new(big.Int).Lsh(big.NewInt(x), uint(k))
+	return clampBig(p)
+}
+
+func shrSat(x, k int64) int64 {
+	if x == ivNegInf || x == ivPosInf {
+		return x
+	}
+	return x >> uint(k)
+}
+
+// IvNarrowCmp refines both operands under the assumption that `a op b`
+// holds — the comparison-narrowing step branch transfer applies to the
+// taken edge (with the negated operator on the fall-through edge).
+func IvNarrowCmp(op token.Token, a, b Interval) (Interval, Interval) {
+	if a.IsBottom() || b.IsBottom() {
+		return IvBottom, IvBottom
+	}
+	switch op {
+	case token.EQL:
+		m := IvMeet(a, b)
+		return m, m
+	case token.NEQ:
+		a2, b2 := a, b
+		if c, ok := b.Const(); ok {
+			if a.Lo == c {
+				a2 = IvMeet(a, Interval{satAdd(c, 1), ivPosInf})
+			} else if a.Hi == c {
+				a2 = IvMeet(a, Interval{ivNegInf, satSub(c, 1)})
+			}
+		}
+		if c, ok := a.Const(); ok {
+			if b.Lo == c {
+				b2 = IvMeet(b, Interval{satAdd(c, 1), ivPosInf})
+			} else if b.Hi == c {
+				b2 = IvMeet(b, Interval{ivNegInf, satSub(c, 1)})
+			}
+		}
+		return a2, b2
+	case token.LSS:
+		return IvMeet(a, Interval{ivNegInf, satSub(b.Hi, 1)}),
+			IvMeet(b, Interval{satAdd(a.Lo, 1), ivPosInf})
+	case token.LEQ:
+		return IvMeet(a, Interval{ivNegInf, b.Hi}),
+			IvMeet(b, Interval{a.Lo, ivPosInf})
+	case token.GTR:
+		return IvMeet(a, Interval{satAdd(b.Lo, 1), ivPosInf}),
+			IvMeet(b, Interval{ivNegInf, satSub(a.Hi, 1)})
+	case token.GEQ:
+		return IvMeet(a, Interval{b.Lo, ivPosInf}),
+			IvMeet(b, Interval{ivNegInf, a.Hi})
+	}
+	return a, b
+}
+
+// negateCmp maps an operator to its logical negation.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return token.ILLEGAL
+}
+
+// constIntOf folds a typed integer constant expression.
+func constIntOf(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// isIntType reports whether t is an integer type (signed or unsigned).
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// ---------------------------------------------------------------------
+// Forward interval analysis over the CFG.
+
+// intervalFacts is one function's fixpoint: the value range of every
+// integer-typed expression (joined over all visits) and of the single
+// integer result when the function has one.
+type intervalFacts struct {
+	at  map[ast.Expr]Interval
+	ret Interval
+}
+
+// ExprInterval returns the inferred range of e, or top when the flow
+// analysis never evaluated it.
+func (f *intervalFacts) ExprInterval(e ast.Expr) Interval {
+	if iv, ok := f.at[e]; ok {
+		return iv
+	}
+	return IvTop
+}
+
+type ivEnv map[types.Object]Interval
+
+func (e ivEnv) clone() ivEnv {
+	out := make(ivEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv keeps only objects bound on both sides (absent = top).
+func joinEnv(a, b ivEnv) ivEnv {
+	out := make(ivEnv)
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			j := IvJoin(v, w)
+			if !j.IsTop() {
+				out[k] = j
+			}
+		}
+	}
+	return out
+}
+
+func equalEnv(a, b ivEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ivFlow is one function's interval-analysis run.
+type ivFlow struct {
+	prog  *Program
+	node  *FuncNode
+	info  *types.Info
+	facts *intervalFacts
+}
+
+// InferIntervals runs (and memoizes) the forward interval analysis for
+// one function node: a widened fixpoint over the CFG followed by one
+// narrowing sweep that records per-expression ranges.
+func (p *Program) InferIntervals(n *FuncNode) *intervalFacts {
+	if f, ok := p.ivFacts[n]; ok {
+		return f
+	}
+	if p.ivInProgress[n] {
+		return &intervalFacts{ret: IvTop}
+	}
+	p.ivInProgress[n] = true
+	defer delete(p.ivInProgress, n)
+
+	fl := &ivFlow{
+		prog:  p,
+		node:  n,
+		info:  n.Pkg.TypesInfo,
+		facts: &intervalFacts{at: make(map[ast.Expr]Interval), ret: IvBottom},
+	}
+	cfg := buildCFG(n.Name, n.Body)
+
+	ins := make(map[*Block]ivEnv)
+	outs := make(map[*Block]map[*Block]ivEnv)
+	visits := make(map[*Block]int)
+
+	inOf := func(blk *Block, preds map[*Block][]*Block) (ivEnv, bool) {
+		if blk == cfg.Entry() {
+			return make(ivEnv), true
+		}
+		var in ivEnv
+		any := false
+		for _, pr := range preds[blk] {
+			if o, ok := outs[pr]; ok {
+				if env, ok := o[blk]; ok {
+					if !any {
+						in, any = env.clone(), true
+					} else {
+						in = joinEnv(in, env)
+					}
+				}
+			}
+		}
+		return in, any
+	}
+
+	preds := predecessors(cfg)
+	queued := make(map[*Block]bool)
+	var worklist []*Block
+	push := func(blk *Block) {
+		if !queued[blk] {
+			queued[blk] = true
+			worklist = append(worklist, blk)
+		}
+	}
+	push(cfg.Entry())
+	budget := (len(cfg.Blocks) + 1) * 64
+	for len(worklist) > 0 && budget > 0 {
+		budget--
+		blk := worklist[0]
+		worklist = worklist[1:]
+		queued[blk] = false
+
+		in, ok := inOf(blk, preds)
+		if !ok && blk != cfg.Entry() {
+			continue // unreachable so far
+		}
+		visits[blk]++
+		if prev, ok := ins[blk]; ok && visits[blk] > 3 {
+			in = widenEnv(prev, in)
+		}
+		if prev, ok := ins[blk]; ok && equalEnv(prev, in) && visits[blk] > 1 {
+			continue
+		}
+		ins[blk] = in
+		outs[blk] = fl.transfer(blk, in.clone(), false)
+		for _, s := range blk.Succs {
+			push(s)
+		}
+	}
+
+	// One narrowing sweep: re-run every reachable block on its stabilized
+	// input (narrowed against the widened iterate) and record ranges.
+	for _, blk := range cfg.Blocks {
+		in, ok := inOf(blk, preds)
+		if !ok && blk != cfg.Entry() {
+			continue
+		}
+		if wide, had := ins[blk]; had {
+			in = narrowEnv(wide, in)
+		}
+		fl.transfer(blk, in, true)
+	}
+	if fl.facts.ret.IsBottom() {
+		fl.facts.ret = IvTop
+	}
+	p.ivFacts[n] = fl.facts
+	return fl.facts
+}
+
+func widenEnv(old, next ivEnv) ivEnv {
+	out := make(ivEnv)
+	for k, v := range next {
+		if o, ok := old[k]; ok {
+			w := IvWiden(o, v)
+			if !w.IsTop() {
+				out[k] = w
+			}
+		}
+	}
+	return out
+}
+
+func narrowEnv(wide, refined ivEnv) ivEnv {
+	out := refined.clone()
+	for k, v := range wide {
+		if r, ok := refined[k]; ok {
+			out[k] = IvNarrow(v, r)
+		}
+	}
+	return out
+}
+
+// transfer pushes env through one block and returns the per-successor
+// exit environments (branch conditions narrow the taken/fall-through
+// edges differently).
+func (fl *ivFlow) transfer(blk *Block, env ivEnv, record bool) map[*Block]ivEnv {
+	var cond ast.Expr
+	for i, node := range blk.Nodes {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			fl.assign(env, st, record)
+		case *ast.IncDecStmt:
+			iv := fl.eval(env, st.X, record)
+			one := IvConst(1)
+			if st.Tok == token.INC {
+				iv = IvAdd(iv, one)
+			} else {
+				iv = IvSub(iv, one)
+			}
+			fl.bind(env, st.X, iv)
+		case *ast.DeclStmt:
+			fl.declare(env, st, record)
+		case *ast.ExprStmt:
+			fl.eval(env, st.X, record)
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				fl.eval(env, r, record)
+			}
+			if record && len(st.Results) == 1 && fl.exprIsInt(st.Results[0]) {
+				fl.facts.ret = IvJoin(fl.facts.ret, fl.eval(env, st.Results[0], false))
+			}
+		case *ast.RangeStmt:
+			fl.rangeBind(env, st, record)
+		case *ast.SendStmt:
+			fl.eval(env, st.Value, record)
+		case ast.Expr:
+			fl.eval(env, st, record)
+			if i == len(blk.Nodes)-1 {
+				cond = st
+			}
+		}
+	}
+
+	outs := make(map[*Block]ivEnv, len(blk.Succs))
+	branching := cond != nil && len(blk.Succs) >= 2
+	for _, s := range blk.Succs {
+		if branching {
+			switch s.Kind {
+			case "if.then", "for.body":
+				outs[s] = fl.narrowByCond(env.clone(), cond, true)
+				continue
+			case "if.else", "if.done", "for.done":
+				outs[s] = fl.narrowByCond(env.clone(), cond, false)
+				continue
+			}
+		}
+		outs[s] = env.clone()
+	}
+	return outs
+}
+
+func (fl *ivFlow) assign(env ivEnv, st *ast.AssignStmt, record bool) {
+	if len(st.Lhs) == len(st.Rhs) {
+		vals := make([]Interval, len(st.Rhs))
+		for i, r := range st.Rhs {
+			vals[i] = fl.eval(env, r, record)
+		}
+		for i, l := range st.Lhs {
+			v := vals[i]
+			switch st.Tok {
+			case token.ASSIGN, token.DEFINE:
+			default:
+				if op, ok := assignOp(st.Tok); ok {
+					v = fl.binop(op, fl.eval(env, l, false), v)
+				} else {
+					v = IvTop
+				}
+			}
+			fl.bind(env, l, v)
+		}
+		return
+	}
+	// Tuple assignment (multi-result call, map lookup): nothing precise.
+	for _, r := range st.Rhs {
+		fl.eval(env, r, record)
+	}
+	for _, l := range st.Lhs {
+		fl.bind(env, l, IvTop)
+	}
+}
+
+func assignOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	}
+	return token.ILLEGAL, false
+}
+
+func (fl *ivFlow) declare(env ivEnv, st *ast.DeclStmt, record bool) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			obj := fl.info.Defs[name]
+			if obj == nil || !isIntType(obj.Type()) {
+				continue
+			}
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				env[obj] = fl.eval(env, vs.Values[i], record)
+			case len(vs.Values) == 0:
+				env[obj] = IvConst(0)
+			default:
+				env[obj] = IvTop
+			}
+		}
+	}
+}
+
+// rangeBind models `for k := range x`: over an integer (Go 1.22 range
+// over int) the key is [0, x.Hi-1]; over a slice/map/string the key is
+// [0, +inf); values are untracked.
+func (fl *ivFlow) rangeBind(env ivEnv, st *ast.RangeStmt, record bool) {
+	x := fl.eval(env, st.X, record)
+	if st.Key == nil {
+		return
+	}
+	if ident, ok := st.Key.(*ast.Ident); ok {
+		obj := fl.info.Defs[ident]
+		if obj == nil {
+			obj = fl.info.Uses[ident]
+		}
+		if obj != nil && isIntType(obj.Type()) {
+			if tv, ok := fl.info.Types[st.X]; ok && isIntType(tv.Type) {
+				env[obj] = Interval{0, satSub(x.Hi, 1)}
+			} else {
+				env[obj] = Interval{0, ivPosInf}
+			}
+		}
+	}
+	if ident, ok := st.Value.(*ast.Ident); ok && ident != nil {
+		if obj := fl.info.Defs[ident]; obj != nil {
+			delete(env, obj)
+		}
+	}
+}
+
+func (fl *ivFlow) bind(env ivEnv, lhs ast.Expr, v Interval) {
+	ident, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return
+	}
+	obj := fl.info.Defs[ident]
+	if obj == nil {
+		obj = fl.info.Uses[ident]
+	}
+	if obj == nil || !isIntType(obj.Type()) {
+		return
+	}
+	if v.IsTop() {
+		delete(env, obj)
+		return
+	}
+	env[obj] = v
+}
+
+func (fl *ivFlow) exprIsInt(e ast.Expr) bool {
+	tv, ok := fl.info.Types[e]
+	return ok && tv.Type != nil && isIntType(tv.Type)
+}
+
+// eval computes the interval of one expression, recording it (joined
+// over all program points) during the narrowing sweep.
+func (fl *ivFlow) eval(env ivEnv, e ast.Expr, record bool) Interval {
+	iv := fl.evalRaw(env, e, record)
+	if record && fl.exprIsInt(e) {
+		if prev, ok := fl.facts.at[e]; ok {
+			fl.facts.at[e] = IvJoin(prev, iv)
+		} else {
+			fl.facts.at[e] = iv
+		}
+	}
+	return iv
+}
+
+func (fl *ivFlow) evalRaw(env ivEnv, e ast.Expr, record bool) Interval {
+	if c, ok := constIntOf(fl.info, e); ok {
+		return IvConst(c)
+	}
+	if !fl.exprIsInt(e) {
+		// Still walk non-integer subtrees so nested integer expressions
+		// (arguments, operands) are recorded.
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				fl.eval(env, a, record)
+			}
+		case *ast.ParenExpr:
+			fl.eval(env, e.X, record)
+		}
+		return IvTop
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return fl.eval(env, e.X, record)
+	case *ast.Ident:
+		obj := fl.info.Uses[e]
+		if obj == nil {
+			obj = fl.info.Defs[e]
+		}
+		if obj != nil {
+			if iv, ok := env[obj]; ok {
+				return iv
+			}
+		}
+		return IvTop
+	case *ast.UnaryExpr:
+		x := fl.eval(env, e.X, record)
+		switch e.Op {
+		case token.SUB:
+			return IvNeg(x)
+		case token.ADD:
+			return x
+		}
+		return IvTop
+	case *ast.BinaryExpr:
+		x := fl.eval(env, e.X, record)
+		y := fl.eval(env, e.Y, record)
+		return fl.binop(e.Op, x, y)
+	case *ast.CallExpr:
+		return fl.evalCall(env, e, record)
+	}
+	return IvTop
+}
+
+func (fl *ivFlow) binop(op token.Token, x, y Interval) Interval {
+	switch op {
+	case token.ADD:
+		return IvAdd(x, y)
+	case token.SUB:
+		return IvSub(x, y)
+	case token.MUL:
+		return IvMul(x, y)
+	case token.QUO:
+		return IvDiv(x, y)
+	case token.REM:
+		return IvMod(x, y)
+	case token.SHL:
+		return IvShl(x, y)
+	case token.SHR:
+		return IvShr(x, y)
+	case token.AND:
+		// x & y for nonnegative operands is bounded by both.
+		if x.Lo >= 0 && y.Lo >= 0 {
+			return Interval{0, min(x.Hi, y.Hi)}
+		}
+	}
+	return IvTop
+}
+
+// evalCall handles len/cap, integer conversions, and calls to program
+// functions via the one-level memoized summaries.
+func (fl *ivFlow) evalCall(env ivEnv, call *ast.CallExpr, record bool) Interval {
+	for _, a := range call.Args {
+		fl.eval(env, a, record)
+	}
+	// Conversion to an integer type: the operand's range survives a
+	// signed conversion wide enough to hold it; anything else is top.
+	if tv, ok := fl.info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isIntType(tv.Type) {
+			return fl.eval(env, call.Args[0], false)
+		}
+		return IvTop
+	}
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fl.info.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				return Interval{0, ivPosInf}
+			}
+			return IvTop
+		}
+	}
+	obj, _ := calleeObjectInfo(fl.info, call).(*types.Func)
+	if obj == nil {
+		return IvTop
+	}
+	callee := fl.prog.Graph.NodeOf(obj)
+	if callee == nil {
+		return IvTop
+	}
+	// One-level refinement: a simple single-return callee is re-evaluated
+	// against the actual argument intervals; anything deeper falls back
+	// to the memoized all-top summary (like dataflow.go's call depth).
+	if ret := singleReturnExpr(callee); ret != nil && fl.node != callee {
+		args := make([]Interval, len(call.Args))
+		for i, a := range call.Args {
+			args[i] = fl.eval(env, a, false)
+		}
+		if iv, ok := fl.prog.refinedReturn(callee, call, args); ok {
+			return iv
+		}
+	}
+	return fl.prog.InferIntervals(callee).ret
+}
+
+// singleReturnExpr returns the lone returned expression of a
+// one-statement `return <expr>` body, else nil.
+func singleReturnExpr(n *FuncNode) ast.Expr {
+	if n == nil || n.Body == nil || len(n.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := n.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	return ret.Results[0]
+}
+
+// refinedReturn evaluates a simple callee's return expression with the
+// caller's argument intervals bound to the parameters (receiver slots
+// included for methods, aligned like callArgExprs).
+func (p *Program) refinedReturn(callee *FuncNode, call *ast.CallExpr, args []Interval) (Interval, bool) {
+	ret := singleReturnExpr(callee)
+	if ret == nil || callee.Decl == nil {
+		return IvTop, false
+	}
+	params := funcParamObjsInfo(callee.Pkg.TypesInfo, callee.Decl)
+	env := make(ivEnv)
+	// params includes the receiver first for methods; call.Args align
+	// with the non-receiver tail.
+	off := len(params) - len(args)
+	if off < 0 {
+		off = 0
+	}
+	for i, iv := range args {
+		if off+i < len(params) && params[off+i] != nil && !iv.IsTop() {
+			env[params[off+i]] = iv
+		}
+	}
+	sub := &ivFlow{
+		prog:  p,
+		node:  callee,
+		info:  callee.Pkg.TypesInfo,
+		facts: &intervalFacts{at: make(map[ast.Expr]Interval)},
+	}
+	if p.ivInProgress[callee] {
+		return IvTop, false
+	}
+	p.ivInProgress[callee] = true
+	iv := sub.eval(env, ret, false)
+	delete(p.ivInProgress, callee)
+	return iv, true
+}
+
+// narrowByCond refines env by one branch condition (sense = the taken
+// edge). Conjunctions, disjunctions, and negation distribute in the
+// usual way; only comparisons with identifier operands narrow bindings.
+func (fl *ivFlow) narrowByCond(env ivEnv, cond ast.Expr, sense bool) ivEnv {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return fl.narrowByCond(env, c.X, !sense)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if sense {
+				env = fl.narrowByCond(env, c.X, true)
+				return fl.narrowByCond(env, c.Y, true)
+			}
+		case token.LOR:
+			if !sense {
+				env = fl.narrowByCond(env, c.X, false)
+				return fl.narrowByCond(env, c.Y, false)
+			}
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := c.Op
+			if !sense {
+				op = negateCmp(op)
+			}
+			x := fl.eval(env, c.X, false)
+			y := fl.eval(env, c.Y, false)
+			nx, ny := IvNarrowCmp(op, x, y)
+			fl.bindNarrowed(env, c.X, nx)
+			fl.bindNarrowed(env, c.Y, ny)
+		}
+	}
+	return env
+}
+
+func (fl *ivFlow) bindNarrowed(env ivEnv, e ast.Expr, v Interval) {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := fl.info.Uses[ident]
+	if obj == nil {
+		obj = fl.info.Defs[ident]
+	}
+	if obj == nil || !isIntType(obj.Type()) {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if v.IsTop() {
+		return
+	}
+	env[obj] = v
+}
+
+// ---------------------------------------------------------------------
+// Relational half: affine forms with truncated-division atoms.
+
+// aff is an affine form k + Σ terms[v]·v with exact rational
+// coefficients over symbolic variables (base variables and division
+// atoms registered in a symtab).
+type aff struct {
+	k     *big.Rat
+	terms map[string]*big.Rat
+}
+
+func affConst(c int64) *aff {
+	return &aff{k: new(big.Rat).SetInt64(c), terms: map[string]*big.Rat{}}
+}
+
+func affVar(name string) *aff {
+	return &aff{k: new(big.Rat), terms: map[string]*big.Rat{name: big.NewRat(1, 1)}}
+}
+
+func (f *aff) clone() *aff {
+	out := &aff{k: new(big.Rat).Set(f.k), terms: make(map[string]*big.Rat, len(f.terms))}
+	for v, c := range f.terms {
+		out.terms[v] = new(big.Rat).Set(c)
+	}
+	return out
+}
+
+func (f *aff) addScaled(g *aff, s *big.Rat) *aff {
+	out := f.clone()
+	out.k.Add(out.k, new(big.Rat).Mul(g.k, s))
+	for v, c := range g.terms {
+		cur, ok := out.terms[v]
+		if !ok {
+			cur = new(big.Rat)
+			out.terms[v] = cur
+		}
+		cur.Add(cur, new(big.Rat).Mul(c, s))
+		if cur.Sign() == 0 {
+			delete(out.terms, v)
+		}
+	}
+	return out
+}
+
+func affAdd(f, g *aff) *aff { return f.addScaled(g, big.NewRat(1, 1)) }
+func affSub(f, g *aff) *aff { return f.addScaled(g, big.NewRat(-1, 1)) }
+
+func affScale(f *aff, s *big.Rat) *aff { return affConst(0).addScaled(f, s) }
+
+// isConst reports a term-free form's constant value.
+func (f *aff) isConst() (*big.Rat, bool) {
+	if len(f.terms) == 0 {
+		return f.k, true
+	}
+	return nil, false
+}
+
+// key renders the form canonically (sorted terms) for atom interning.
+func (f *aff) key() string {
+	names := make([]string, 0, len(f.terms))
+	for v := range f.terms {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(f.k.RatString())
+	for _, v := range names {
+		sb.WriteString("+")
+		sb.WriteString(f.terms[v].RatString())
+		sb.WriteString("*")
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// divAtom is one interned truncated division num/div (div > 0).
+type divAtom struct {
+	name string
+	num  *aff
+	div  int64
+}
+
+// symtab owns the symbolic variables of one proof context: base
+// variables with interval bounds plus interned division atoms.
+type symtab struct {
+	bounds map[string]Interval
+	atoms  map[string]*divAtom
+	byKey  map[string]string
+	seq    int
+}
+
+func newSymtab() *symtab {
+	return &symtab{
+		bounds: make(map[string]Interval),
+		atoms:  make(map[string]*divAtom),
+		byKey:  make(map[string]string),
+	}
+}
+
+// setVar registers (or re-bounds) a base variable and returns its form.
+func (s *symtab) setVar(name string, iv Interval) *aff {
+	s.bounds[name] = iv
+	return affVar(name)
+}
+
+// div interns the truncated division f/c (c > 0) as an atom variable
+// bounded by the corner quotients of f's range.
+func (s *symtab) div(f *aff, c int64) *aff {
+	if c <= 0 {
+		return nil
+	}
+	if k, ok := f.isConst(); ok && k.IsInt() && k.Num().IsInt64() {
+		return affConst(k.Num().Int64() / c)
+	}
+	key := f.key() + "/" + fmt.Sprint(c)
+	if name, ok := s.byKey[key]; ok {
+		return affVar(name)
+	}
+	s.seq++
+	name := fmt.Sprintf("q%d", s.seq)
+	s.byKey[key] = name
+	s.atoms[name] = &divAtom{name: name, num: f, div: c}
+	s.bounds[name] = IvDiv(s.rangeOf(f, nil), IvConst(c))
+	return affVar(name)
+}
+
+// rangeOf bounds a form over the variable box (extra overrides bounds).
+func (s *symtab) rangeOf(f *aff, extra map[string]Interval) Interval {
+	lo, loOK := s.minOf(f, extra)
+	hi, hiOK := s.maxOf(f, extra)
+	out := IvTop
+	if loOK {
+		out.Lo = ratFloorInt64(lo)
+	}
+	if hiOK {
+		out.Hi = ratCeilInt64(hi)
+	}
+	return out
+}
+
+// minOf computes the exact rational minimum of f over the box; ok is
+// false when some needed bound is infinite.
+func (s *symtab) minOf(f *aff, extra map[string]Interval) (*big.Rat, bool) {
+	acc := new(big.Rat).Set(f.k)
+	for v, c := range f.terms {
+		iv, ok := extra[v]
+		if !ok {
+			iv, ok = s.bounds[v]
+			if !ok {
+				return nil, false
+			}
+		}
+		var bound int64
+		if c.Sign() > 0 {
+			bound = iv.Lo
+			if bound == ivNegInf {
+				return nil, false
+			}
+		} else {
+			bound = iv.Hi
+			if bound == ivPosInf {
+				return nil, false
+			}
+		}
+		acc.Add(acc, new(big.Rat).Mul(c, new(big.Rat).SetInt64(bound)))
+	}
+	return acc, true
+}
+
+func (s *symtab) maxOf(f *aff, extra map[string]Interval) (*big.Rat, bool) {
+	m, ok := s.minOf(affScale(f, big.NewRat(-1, 1)), extra)
+	if !ok {
+		return nil, false
+	}
+	return m.Neg(m), true
+}
+
+func ratFloorInt64(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return clampBig(q)
+}
+
+func ratCeilInt64(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() > 0 && !r.IsInt() {
+		q.Add(q, big.NewInt(1))
+	}
+	return clampBig(q)
+}
+
+// collectAtoms gathers every atom reachable from f (through atom
+// numerators), sorted by name.
+func (s *symtab) collectAtoms(f *aff) []*divAtom {
+	seen := make(map[string]bool)
+	var out []*divAtom
+	var walk func(g *aff)
+	walk = func(g *aff) {
+		for v := range g.terms {
+			a, ok := s.atoms[v]
+			if !ok || seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, a)
+			walk(a.num)
+		}
+	}
+	walk(f)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// proveNonNeg tries to establish min(f) ≥ 0 over the symtab's box. Each
+// atom a = A/c may be kept opaque (its corner-quotient interval) or
+// expanded to (A − r)/c with a fresh slack r ∈ [0, c−1] — exact when
+// A ≥ 0, which is checked per expansion. All strategy combinations are
+// enumerated; any one that bounds the minimum at ≥ 0 proves the form.
+func (s *symtab) proveNonNeg(f *aff) bool {
+	atoms := s.collectAtoms(f)
+	const maxExpand = 8
+	if len(atoms) > maxExpand {
+		atoms = atoms[:maxExpand]
+	}
+	for mask := 0; mask < 1<<len(atoms); mask++ {
+		g, extra, ok := s.expandCombo(f, atoms, mask)
+		if !ok {
+			continue
+		}
+		if lo, fin := s.minOf(g, extra); fin && lo.Sign() >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// expandCombo rewrites f with the atoms selected by mask expanded into
+// (num − slack)/div form; ok is false when an expansion's nonnegativity
+// precondition cannot be established.
+func (s *symtab) expandCombo(f *aff, atoms []*divAtom, mask int) (*aff, map[string]Interval, bool) {
+	expand := make(map[string]*divAtom)
+	for i, a := range atoms {
+		if mask&(1<<i) != 0 {
+			expand[a.name] = a
+		}
+	}
+	extra := make(map[string]Interval)
+	g := f.clone()
+	for round := 0; round < 32; round++ {
+		var hit *divAtom
+		var coeff *big.Rat
+		for v, c := range g.terms {
+			if a, ok := expand[v]; ok {
+				hit, coeff = a, new(big.Rat).Set(c)
+				break
+			}
+		}
+		if hit == nil {
+			return g, extra, true
+		}
+		// Precondition: the numerator is provably nonnegative (with every
+		// atom inside it kept opaque), so trunc == floor and the slack
+		// rewrite is exact.
+		if lo, ok := s.minOf(hit.num, extra); !ok || lo.Sign() < 0 {
+			return nil, nil, false
+		}
+		slack := "r·" + hit.name
+		extra[slack] = IvRange(0, hit.div-1)
+		// g := g − coeff·atom + (coeff/div)·(num − slack)
+		delete(g.terms, hit.name)
+		scale := new(big.Rat).Quo(coeff, new(big.Rat).SetInt64(hit.div))
+		g = g.addScaled(hit.num, scale)
+		g = g.addScaled(affVar(slack), new(big.Rat).Neg(scale))
+	}
+	return nil, nil, false
+}
+
+// fitsInt64 reports whether f's range provably stays within int64 —
+// the overflow-freedom obligation for quorum arithmetic.
+func (s *symtab) fitsInt64(f *aff) bool {
+	lo, okLo := s.minOf(f, nil)
+	hi, okHi := s.maxOf(f, nil)
+	if !okLo || !okHi {
+		return false
+	}
+	minI := new(big.Rat).SetInt64(math.MinInt64)
+	maxI := new(big.Rat).SetInt64(math.MaxInt64)
+	return lo.Cmp(minI) >= 0 && hi.Cmp(maxI) <= 0
+}

@@ -1,0 +1,126 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rbcast/internal/analysis"
+)
+
+// Mutation tests: copy the real production sources into a temp package,
+// verify the analyzer is silent on them, then apply a classic breaking
+// edit and verify the analyzer bites. This is the acceptance proof that
+// the provers track the *actual* tree, not just hand-built fixtures —
+// module-internal imports of the copies resolve against the real module
+// root.
+
+// mutateDir copies the non-test .go files of srcDir into a temp dir,
+// applying mutate to each file's text. It fails the test if a requested
+// mutation (old != "") never matched.
+func mutateDir(t *testing.T, srcDir, old, new string) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("ReadDir %s: %v", srcDir, err)
+	}
+	replaced := false
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("ReadFile %s: %v", name, err)
+		}
+		src := string(data)
+		if old != "" && strings.Contains(src, old) {
+			src = strings.Replace(src, old, new, 1)
+			replaced = true
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatalf("WriteFile %s: %v", name, err)
+		}
+	}
+	if old != "" && !replaced {
+		t.Fatalf("mutation %q matched nothing under %s — the production source moved; update the test", old, srcDir)
+	}
+	return dir
+}
+
+// runOn loads dir under asPath with a fresh loader (fresh, so the
+// original and mutated copies of one import path never share a package
+// cache) and runs a single analyzer.
+func runOn(t *testing.T, a *analysis.Analyzer, dir, asPath string) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(dir, asPath)
+	if err != nil {
+		t.Fatalf("Load %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(loader, pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	return diags
+}
+
+// TestQuorumLintMutation proves quorumlint catches an off-by-one
+// introduced into the real echo-quorum expression in
+// internal/core/echo.go.
+func TestQuorumLintMutation(t *testing.T) {
+	clean := mutateDir(t, "../core", "", "")
+	if diags := runOn(t, analysis.QuorumLint, clean, "rbcast/internal/core"); len(diags) != 0 {
+		t.Fatalf("quorumlint not clean on unmutated core: %v", diags[0].Message)
+	}
+
+	mutated := mutateDir(t, "../core",
+		"return (len(h.peers)+h.byzF())/2 + 1",
+		"return (len(h.peers) + h.byzF()) / 2")
+	diags := runOn(t, analysis.QuorumLint, mutated, "rbcast/internal/core")
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "echo quorums may fail to intersect") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quorumlint missed the echo-quorum off-by-one; got %d diagnostics", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d.Message)
+		}
+	}
+}
+
+// TestLaneLintMutation proves lanelint catches a global Schedule call
+// smuggled into a real lane event: the cross-lane delivery continuation
+// in internal/netsim/transmit.go.
+func TestLaneLintMutation(t *testing.T) {
+	clean := mutateDir(t, "../netsim", "", "")
+	if diags := runOn(t, analysis.LaneLint, clean, "rbcast/internal/netsim"); len(diags) != 0 {
+		t.Fatalf("lanelint not clean on unmutated netsim: %v", diags[0].Message)
+	}
+
+	mutated := mutateDir(t, "../netsim",
+		"n.eng.ScheduleCross(fromLane, toLane, d, func() { next(env) })",
+		"n.eng.ScheduleCross(fromLane, toLane, d, func() { n.eng.Schedule(0, func() {}); next(env) })")
+	diags := runOn(t, analysis.LaneLint, mutated, "rbcast/internal/netsim")
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "sim.Loop.Schedule addresses the global coordinator context") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lanelint missed the smuggled Schedule call; got %d diagnostics", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d.Message)
+		}
+	}
+}

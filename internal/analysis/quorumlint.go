@@ -1,0 +1,562 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/big"
+)
+
+// QuorumPackages is the scope of quorumlint: the protocol core that
+// owns the echo/ready quorum arithmetic.
+var QuorumPackages = []string{"rbcast/internal/core"}
+
+// quorumNMax is the modeled participant-count ceiling. Config.validate
+// requires the host itself to appear in Peers, so n ≥ 1; 2³¹ is far
+// beyond any simulated deployment while keeping every admitted quorum
+// expression comfortably inside int64.
+const quorumNMax = 1 << 31
+
+// QuorumLint proves the Bracha-flavoured quorum inequalities of the
+// echo/ready hardening layer for *all* parameter values admitted by
+// Params.Validate, not just the ones a test happens to run. It finds,
+// per receiver type, the threshold methods byzF / echoQuorum /
+// readyQuorum / readyAmplify, evaluates their bodies symbolically into
+// affine forms over n = len(peers) and the Validate-bounded parameter
+// fields (with truncated division modeled exactly via slack variables),
+// splits on byzF's branches, and discharges five obligations in each
+// case:
+//
+//  1. overflow-freedom — every threshold form and every division
+//     numerator stays within int for all admitted n, f;
+//  2. intersection — 2·echoQuorum − n − f ≥ 1, so two echo quorums for
+//     distinct digests would need more than f equivocating voters;
+//  3. honest majority — readyQuorum ≥ 2f+1, so a delivery quorum
+//     contains at least f+1 correct hosts;
+//  4. amplification safety — readyAmplify ≥ f+1, so amplified readies
+//     prove at least one honest first-hand echo quorum;
+//  5. default budget — the defaulting branch keeps f ≤ ⌊(n−1)/3⌋, the
+//     classical resilience maximum.
+//
+// An arithmetic edit that breaks an inequality for any admitted value
+// — an off-by-one in the echo quorum, an amplification threshold of f,
+// a Validate guard deleted — turns into a finding on the very next
+// `make lint`. The prover is deliberately conservative: a threshold it
+// cannot bring into affine/div form, or an inequality it cannot prove,
+// is reported, never assumed. The inequalities themselves are
+// documented beside the prose agreement argument in
+// internal/core/echo.go.
+var QuorumLint = &Analyzer{
+	Name: "quorumlint",
+	Doc: "prove echo/ready quorum inequalities (overflow-freedom, quorum " +
+		"intersection, honest majority, amplification safety, default f bound) " +
+		"for all parameter values admitted by Params.Validate (core)",
+	Run: runQuorumLint,
+}
+
+func runQuorumLint(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), QuorumPackages) {
+		return nil
+	}
+	admitted := harvestValidateBounds(pass)
+	for _, g := range findQuorumGroups(pass) {
+		checkQuorumGroup(pass, g, admitted)
+	}
+	return nil
+}
+
+// quorumGroup is one receiver type's threshold method set.
+type quorumGroup struct {
+	recv    *types.TypeName
+	byzF    *ast.FuncDecl
+	methods map[string]*ast.FuncDecl // echoQuorum, readyQuorum, readyAmplify
+}
+
+// findQuorumGroups collects, per receiver type, the quorum threshold
+// methods. Only groups with a byzF and at least one threshold are
+// analyzed — a package without the echo layer has nothing to prove.
+func findQuorumGroups(pass *Pass) []*quorumGroup {
+	byRecv := make(map[*types.TypeName]*quorumGroup)
+	var order []*types.TypeName
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "byzF", "echoQuorum", "readyQuorum", "readyAmplify":
+			default:
+				continue
+			}
+			recv := quorumRecvType(pass.TypesInfo, fd)
+			if recv == nil {
+				continue
+			}
+			g := byRecv[recv]
+			if g == nil {
+				g = &quorumGroup{recv: recv, methods: make(map[string]*ast.FuncDecl)}
+				byRecv[recv] = g
+				order = append(order, recv)
+			}
+			if fd.Name.Name == "byzF" {
+				g.byzF = fd
+			} else {
+				g.methods[fd.Name.Name] = fd
+			}
+		}
+	}
+	var out []*quorumGroup
+	for _, recv := range order {
+		g := byRecv[recv]
+		if g.byzF != nil && len(g.methods) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// quorumRecvType resolves a method's receiver to its named type.
+func quorumRecvType(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// harvestValidateBounds extracts the admitted interval of every integer
+// parameter field from the package's Validate methods: each top-level
+// `if field OP const { return err }` guard rejects the region where the
+// comparison holds, so the admitted region is narrowed by its negation.
+// Guards the harvest cannot interpret (compound conditions, cross-field
+// comparisons) simply leave the interval wider — sound, since every
+// obligation is proved over the admitted box.
+func harvestValidateBounds(pass *Pass) map[*types.Var]Interval {
+	admitted := make(map[*types.Var]Interval)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || fd.Name.Name != "Validate" {
+				continue
+			}
+			for _, st := range fd.Body.List {
+				ifst, ok := st.(*ast.IfStmt)
+				if !ok || ifst.Init != nil || ifst.Else != nil || !bodyReturns(ifst.Body) {
+					continue
+				}
+				field, op, c, ok := fieldCmp(pass.TypesInfo, ifst.Cond)
+				if !ok {
+					continue
+				}
+				cur, have := admitted[field]
+				if !have {
+					cur = IvTop
+				}
+				narrowed, _ := IvNarrowCmp(negateCmp(op), cur, IvConst(c))
+				admitted[field] = narrowed
+			}
+		}
+	}
+	return admitted
+}
+
+// bodyReturns reports whether a guard body ends in a return — the
+// shape of a Validate rejection.
+func bodyReturns(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// fieldCmp decomposes `field OP const` (or `const OP field`, with the
+// comparison flipped) where field is an integer struct field.
+func fieldCmp(info *types.Info, cond ast.Expr) (*types.Var, token.Token, int64, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return nil, 0, 0, false
+	}
+	if f := fieldVarOf(info, be.X); f != nil {
+		if c, ok := constIntOf(info, be.Y); ok {
+			return f, be.Op, c, true
+		}
+	}
+	if f := fieldVarOf(info, be.Y); f != nil {
+		if c, ok := constIntOf(info, be.X); ok {
+			return f, flipCmp(be.Op), c, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// fieldVarOf resolves an expression to the integer struct field it
+// reads, if any. `p.EchoMaxFaulty` in Validate and
+// `h.params.EchoMaxFaulty` in byzF resolve to the same field object,
+// which is what lets the harvest bound the threshold arithmetic.
+func fieldVarOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || !isIntType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// flipCmp mirrors a comparison across its operands (a OP b ⇔ b OP' a).
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.GTR:
+		return token.LSS
+	case token.LEQ:
+		return token.GEQ
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// quorumCase is one branch of byzF: ret is the budget expression, cond
+// the branch condition (nil for the fall-through default), and prior
+// the earlier conditions known false when this branch runs.
+type quorumCase struct {
+	cond  ast.Expr
+	prior []ast.Expr
+	ret   ast.Expr
+}
+
+// byzFCases decomposes byzF's body into guard/default cases. The
+// supported shape — a sequence of `if cond { return e }` followed by a
+// final `return e` — is exactly the defaulting idiom; anything else is
+// reported as unanalyzable by the caller.
+func byzFCases(fd *ast.FuncDecl) []quorumCase {
+	var cases []quorumCase
+	var prior []ast.Expr
+	for _, st := range fd.Body.List {
+		switch st := st.(type) {
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return nil
+			}
+			ret := soleReturnExpr(st.Body)
+			if ret == nil {
+				return nil
+			}
+			cases = append(cases, quorumCase{cond: st.Cond, prior: append([]ast.Expr(nil), prior...), ret: ret})
+			prior = append(prior, st.Cond)
+		case *ast.ReturnStmt:
+			if len(st.Results) != 1 {
+				return nil
+			}
+			cases = append(cases, quorumCase{prior: append([]ast.Expr(nil), prior...), ret: st.Results[0]})
+			return cases
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// soleReturnExpr returns the expression of a single-statement
+// single-value return body.
+func soleReturnExpr(body *ast.BlockStmt) ast.Expr {
+	if len(body.List) != 1 {
+		return nil
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	return ret.Results[0]
+}
+
+// caseDesc renders a byzF case for diagnostics.
+func caseDesc(c quorumCase) string {
+	if c.cond != nil {
+		return "(when " + types.ExprString(c.cond) + ")"
+	}
+	return "(in the defaulting branch)"
+}
+
+// quorumCtx is one proof context: a symtab plus the symbolic bindings
+// shared by all thresholds of one byzF case.
+type quorumCtx struct {
+	pass   *Pass
+	st     *symtab
+	group  *quorumGroup
+	bounds map[*types.Var]Interval // per-case admitted field intervals
+	vars   map[*types.Var]*aff
+	nVar   *aff
+	fForm  *aff
+}
+
+// checkQuorumGroup discharges the obligations for one receiver type.
+func checkQuorumGroup(pass *Pass, g *quorumGroup, admitted map[*types.Var]Interval) {
+	cases := byzFCases(g.byzF)
+	if cases == nil {
+		pass.Reportf(g.byzF.Pos(),
+			"quorumlint cannot analyze %s.byzF: the Byzantine budget must be a sequence of "+
+				"`if cond { return e }` guards and a final return so each case can be proved separately",
+			g.recv.Name())
+		return
+	}
+	for _, c := range cases {
+		qc := &quorumCtx{
+			pass:   pass,
+			st:     newSymtab(),
+			group:  g,
+			bounds: caseBounds(pass.TypesInfo, admitted, c),
+			vars:   make(map[*types.Var]*aff),
+		}
+		qc.nVar = qc.st.setVar("n", IvRange(1, quorumNMax))
+		desc := caseDesc(c)
+		qc.fForm = qc.eval(c.ret)
+		if qc.fForm == nil {
+			pass.Reportf(c.ret.Pos(),
+				"quorumlint cannot analyze %s.byzF %s: the budget must be affine/div arithmetic over "+
+					"len(peers) and Validate-bounded fields", g.recv.Name(), desc)
+			continue
+		}
+		overflowed := qc.checkOverflow(g.byzF.Name.Name, qc.fForm, c.ret.Pos(), desc)
+		forms := make(map[string]*aff)
+		for _, name := range []string{"echoQuorum", "readyQuorum", "readyAmplify"} {
+			fd, ok := g.methods[name]
+			if !ok {
+				continue
+			}
+			ret := soleReturnExpr(fd.Body)
+			if ret == nil {
+				pass.Reportf(fd.Pos(),
+					"quorumlint cannot analyze %s.%s: quorum thresholds must be a single return of "+
+						"affine/div arithmetic so the inequalities can be proved", g.recv.Name(), name)
+				continue
+			}
+			form := qc.eval(ret)
+			if form == nil {
+				pass.Reportf(ret.Pos(),
+					"quorumlint cannot analyze %s.%s %s: quorum thresholds must be affine/div arithmetic over "+
+						"len(peers), Validate-bounded fields, and byzF()", g.recv.Name(), name, desc)
+				continue
+			}
+			forms[name] = form
+			// One overflow report per case is enough when the budget itself
+			// is unbounded — every threshold would repeat it.
+			if !overflowed {
+				qc.checkOverflow(name, form, ret.Pos(), desc)
+			}
+		}
+		qc.checkInequalities(forms, c, desc)
+	}
+}
+
+// caseBounds intersects the Validate-admitted field intervals with one
+// byzF case's branch conditions (its own condition true, all earlier
+// ones false).
+func caseBounds(info *types.Info, admitted map[*types.Var]Interval, c quorumCase) map[*types.Var]Interval {
+	bounds := make(map[*types.Var]Interval, len(admitted))
+	for f, iv := range admitted {
+		bounds[f] = iv
+	}
+	narrow := func(cond ast.Expr, sense bool) {
+		field, op, k, ok := fieldCmp(info, cond)
+		if !ok {
+			return
+		}
+		if !sense {
+			op = negateCmp(op)
+		}
+		cur, have := bounds[field]
+		if !have {
+			cur = IvTop
+		}
+		narrowed, _ := IvNarrowCmp(op, cur, IvConst(k))
+		bounds[field] = narrowed
+	}
+	for _, p := range c.prior {
+		narrow(p, false)
+	}
+	if c.cond != nil {
+		narrow(c.cond, true)
+	}
+	return bounds
+}
+
+// eval brings a threshold expression into affine/div form, or nil when
+// the shape is outside the prover's language.
+func (qc *quorumCtx) eval(e ast.Expr) *aff {
+	e = ast.Unparen(e)
+	info := qc.pass.TypesInfo
+	if c, ok := constIntOf(info, e); ok {
+		return affConst(c)
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		x := qc.eval(e.X)
+		if x == nil {
+			return nil
+		}
+		switch e.Op {
+		case token.ADD, token.SUB:
+			y := qc.eval(e.Y)
+			if y == nil {
+				return nil
+			}
+			if e.Op == token.ADD {
+				return affAdd(x, y)
+			}
+			return affSub(x, y)
+		case token.MUL:
+			y := qc.eval(e.Y)
+			if y == nil {
+				return nil
+			}
+			if k, ok := y.isConst(); ok {
+				return affScale(x, k)
+			}
+			if k, ok := x.isConst(); ok {
+				return affScale(y, k)
+			}
+			return nil
+		case token.QUO:
+			// Only truncated division by a positive constant has a slack
+			// model; anything else is outside the language.
+			c, ok := constIntOf(info, e.Y)
+			if !ok || c <= 0 {
+				return nil
+			}
+			return qc.st.div(x, c)
+		}
+		return nil
+	case *ast.UnaryExpr:
+		if e.Op != token.SUB {
+			return nil
+		}
+		x := qc.eval(e.X)
+		if x == nil {
+			return nil
+		}
+		return affScale(x, big.NewRat(-1, 1))
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "len" && info.Uses[id] == types.Universe.Lookup("len") {
+			// Every participant list the thresholds measure is the peer
+			// set, so len(...) is the symbolic n.
+			return qc.nVar.clone()
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Name() == qc.group.byzF.Name.Name {
+				if qc.fForm != nil {
+					return qc.fForm.clone()
+				}
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if f := fieldVarOf(info, e); f != nil {
+			return qc.fieldVar(f)
+		}
+	}
+	return nil
+}
+
+// fieldVar interns one parameter field as a symtab variable bounded by
+// its per-case admitted interval.
+func (qc *quorumCtx) fieldVar(f *types.Var) *aff {
+	if form, ok := qc.vars[f]; ok {
+		return form.clone()
+	}
+	iv, ok := qc.bounds[f]
+	if !ok {
+		iv = IvTop
+	}
+	form := qc.st.setVar(f.Name(), iv)
+	qc.vars[f] = form
+	return form.clone()
+}
+
+// checkOverflow discharges obligation 1 for one threshold form: the
+// form itself and every division numerator inside it must provably
+// stay within int. It reports and returns true on failure.
+func (qc *quorumCtx) checkOverflow(name string, form *aff, pos token.Pos, desc string) bool {
+	bad := !qc.st.fitsInt64(form)
+	if !bad {
+		for _, a := range qc.st.collectAtoms(form) {
+			if !qc.st.fitsInt64(a.num) {
+				bad = true
+				break
+			}
+		}
+	}
+	if bad {
+		qc.pass.Reportf(pos,
+			"quorum arithmetic in %s.%s may overflow %s: not provably within int for all "+
+				"admitted parameters — cap the budget in Params.Validate",
+			qc.group.recv.Name(), name, desc)
+	}
+	return bad
+}
+
+// checkInequalities discharges obligations 2–5 for one byzF case.
+func (qc *quorumCtx) checkInequalities(forms map[string]*aff, c quorumCase, desc string) {
+	f := qc.fForm
+	one := affConst(1)
+	if eq, ok := forms["echoQuorum"]; ok {
+		// 2·echoQuorum − n − f − 1 ≥ 0: two echo quorums overlap in
+		// ≥ 2·eq − n hosts, which must exceed the f possible equivocators.
+		g := affSub(affSub(affSub(affScale(eq, big.NewRat(2, 1)), qc.nVar), f), one)
+		if !qc.st.proveNonNeg(g) {
+			qc.pass.Reportf(qc.group.methods["echoQuorum"].Pos(),
+				"echo quorums may fail to intersect in f+1 hosts %s: 2·echoQuorum − n − f − 1 is not "+
+					"provably ≥ 0, so two digests could both gather a quorum with only f equivocators "+
+					"(see the quorum inequalities in internal/core/echo.go)", desc)
+		}
+	}
+	if rq, ok := forms["readyQuorum"]; ok {
+		// readyQuorum − 2f − 1 ≥ 0: a delivery quorum keeps an honest
+		// majority (≥ f+1 correct hosts) even with f faulty voters.
+		g := affSub(affSub(rq, affScale(f, big.NewRat(2, 1))), one)
+		if !qc.st.proveNonNeg(g) {
+			qc.pass.Reportf(qc.group.methods["readyQuorum"].Pos(),
+				"ready quorum may lack an honest majority %s: readyQuorum − 2f − 1 is not provably ≥ 0, "+
+					"so delivery could rest on f faulty votes plus fewer than f+1 correct ones "+
+					"(see the quorum inequalities in internal/core/echo.go)", desc)
+		}
+	}
+	if ra, ok := forms["readyAmplify"]; ok {
+		// readyAmplify − f − 1 ≥ 0: amplification must outnumber the
+		// Byzantine budget so at least one vote is honest.
+		g := affSub(affSub(ra, f), one)
+		if !qc.st.proveNonNeg(g) {
+			qc.pass.Reportf(qc.group.methods["readyAmplify"].Pos(),
+				"ready amplification may fire without an honest vote %s: readyAmplify − f − 1 is not "+
+					"provably ≥ 0, so f faulty readies alone could trigger a ready cascade "+
+					"(see the quorum inequalities in internal/core/echo.go)", desc)
+		}
+	}
+	if c.cond == nil {
+		// ⌊(n−1)/3⌋ − f ≥ 0: the defaulting branch must not exceed the
+		// classical resilience maximum.
+		bound := qc.st.div(affSub(qc.nVar.clone(), one), 3)
+		if g := affSub(bound, f); !qc.st.proveNonNeg(g) {
+			qc.pass.Reportf(c.ret.Pos(),
+				"EchoMaxFaulty defaulting may exceed the classical bound %s: ⌊(n−1)/3⌋ − f is not "+
+					"provably ≥ 0 (see the quorum inequalities in internal/core/echo.go)", desc)
+		}
+	}
+}

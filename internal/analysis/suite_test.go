@@ -34,6 +34,10 @@ func TestAnalyzers(t *testing.T) {
 		{"sharelint/out-of-scope-package", analysis.ShareLint, "testdata/shareclean", ""},
 		{"ordlint", analysis.OrdLint, "testdata/ord", "rbcast/internal/live"},
 		{"alloclint", analysis.AllocLint, "testdata/alloc", ""},
+		{"lanelint", analysis.LaneLint, "testdata/lane", "rbcast/internal/sim"},
+		{"lanelint/out-of-scope-package", analysis.LaneLint, "testdata/laneclean", ""},
+		{"quorumlint", analysis.QuorumLint, "testdata/quorum", "rbcast/internal/core"},
+		{"quorumlint/out-of-scope-package", analysis.QuorumLint, "testdata/quorumclean", ""},
 		{"ignore-directive", analysis.DetLint, "testdata/ignoretd", "rbcast/internal/core"},
 	}
 	for _, tt := range tests {

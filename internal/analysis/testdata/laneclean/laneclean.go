@@ -1,0 +1,28 @@
+// Package laneclean proves lanelint's scope gating: the same smuggled
+// global call that fires in testdata/lane raises nothing here because
+// the package is checked under its real testdata path, outside the
+// sim/netsim/harness/soak scope.
+package laneclean
+
+import "time"
+
+type Event func()
+
+type Timer struct{}
+
+type Loop interface {
+	Now() time.Duration
+	Schedule(delay time.Duration, fn Event) Timer
+	ScheduleOn(lane int, delay time.Duration, fn Event) Timer
+}
+
+func noop() {}
+
+// globalFromLane would be a finding in scope; out of scope it is not
+// lanelint's business.
+func globalFromLane(l Loop) {
+	l.ScheduleOn(1, time.Millisecond, func() {
+		l.Schedule(time.Millisecond, noop)
+		_ = l.Now()
+	})
+}

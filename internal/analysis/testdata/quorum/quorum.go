@@ -1,0 +1,113 @@
+// Package quorum is quorumlint's testdata: one host with the correct
+// Bracha-style thresholds (provable for every Validate-admitted
+// parameter), plus hosts carrying the classic arithmetic mistakes —
+// off-by-one quorums, an unbounded budget, a threshold shape outside
+// the prover's language. Checked as rbcast/internal/core to land in
+// quorumlint's scope.
+package quorum
+
+import "errors"
+
+type HostID int
+
+// Params mirrors the core tunables quorum sizing depends on. Budget is
+// deliberately missing from Validate: nothing bounds it.
+type Params struct {
+	EchoReady     bool
+	EchoMaxFaulty int
+	Budget        int
+}
+
+const maxEchoFaulty = 1 << 20
+
+var errParams = errors.New("quorum: bad params")
+
+// Validate is where quorumlint harvests the admitted intervals:
+// EchoMaxFaulty ∈ [0, maxEchoFaulty], Budget unbounded.
+func (p Params) Validate() error {
+	if p.EchoMaxFaulty < 0 {
+		return errParams
+	}
+	if p.EchoMaxFaulty > maxEchoFaulty {
+		return errParams
+	}
+	return nil
+}
+
+// Host carries the production thresholds verbatim; every obligation is
+// provable, so quorumlint stays silent.
+type Host struct {
+	peers  []HostID
+	params Params
+}
+
+func (h *Host) byzF() int {
+	if h.params.EchoMaxFaulty > 0 {
+		return h.params.EchoMaxFaulty
+	}
+	return (len(h.peers) - 1) / 3
+}
+
+func (h *Host) echoQuorum() int { return (len(h.peers)+h.byzF())/2 + 1 }
+
+func (h *Host) readyQuorum() int { return 2*h.byzF() + 1 }
+
+func (h *Host) readyAmplify() int { return h.byzF() + 1 }
+
+// Narrow drops the +1 off every threshold — the off-by-one family.
+// With echoQuorum = (n+f)/2, two digests can both gather a quorum when
+// n+f is even; with readyQuorum = 2f, delivery can rest on f faulty
+// votes plus only f correct ones; with readyAmplify = f, the faulty
+// hosts alone can start a ready cascade.
+type Narrow struct {
+	peers  []HostID
+	params Params
+}
+
+func (h *Narrow) byzF() int { return (len(h.peers) - 1) / 3 }
+
+func (h *Narrow) echoQuorum() int { return (len(h.peers) + h.byzF()) / 2 } // want `echo quorums may fail to intersect in f\+1 hosts`
+
+func (h *Narrow) readyQuorum() int { return 2 * h.byzF() } // want `ready quorum may lack an honest majority`
+
+func (h *Narrow) readyAmplify() int { return h.byzF() } // want `ready amplification may fire without an honest vote`
+
+// Generous defaults the budget to ⌊(n−1)/2⌋, past the classical
+// resilience maximum the agreement argument needs.
+type Generous struct {
+	peers  []HostID
+	params Params
+}
+
+func (h *Generous) byzF() int { return (len(h.peers) - 1) / 2 } // want `EchoMaxFaulty defaulting may exceed the classical bound`
+
+func (h *Generous) echoQuorum() int { return (len(h.peers)+h.byzF())/2 + 1 }
+
+// Unbounded sizes quorums from a field Validate never bounds, so the
+// arithmetic cannot be proved overflow-free (and with f unbounded the
+// intersection inequality is unprovable too).
+type Unbounded struct {
+	peers  []HostID
+	params Params
+}
+
+func (h *Unbounded) byzF() int { return h.params.Budget } // want `quorum arithmetic in Unbounded\.byzF may overflow` `EchoMaxFaulty defaulting may exceed the classical bound`
+
+func (h *Unbounded) echoQuorum() int { return (len(h.peers) + h.byzF()) / 2 } // want `echo quorums may fail to intersect in f\+1 hosts`
+
+// Odd computes its budget with a loop, outside the prover's affine/div
+// language; a conservative prover reports what it cannot analyze
+// instead of assuming it sound.
+type Odd struct {
+	peers []HostID
+}
+
+func (h *Odd) byzF() int { // want `quorumlint cannot analyze Odd\.byzF`
+	f := 0
+	for range h.peers {
+		f++
+	}
+	return f / 3
+}
+
+func (h *Odd) echoQuorum() int { return len(h.peers)/2 + 1 }

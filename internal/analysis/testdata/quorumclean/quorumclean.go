@@ -1,0 +1,26 @@
+// Package quorumclean proves quorumlint's scope gating: the same
+// broken thresholds that fire in testdata/quorum raise nothing here
+// because the package is checked under its real testdata path, outside
+// the core scope.
+package quorumclean
+
+type HostID int
+
+type Params struct {
+	EchoMaxFaulty int
+}
+
+func (p Params) Validate() error { return nil }
+
+type Host struct {
+	peers  []HostID
+	params Params
+}
+
+func (h *Host) byzF() int { return (len(h.peers) - 1) / 2 }
+
+func (h *Host) echoQuorum() int { return (len(h.peers) + h.byzF()) / 2 }
+
+func (h *Host) readyQuorum() int { return 2 * h.byzF() }
+
+func (h *Host) readyAmplify() int { return h.byzF() }

@@ -348,24 +348,34 @@ func WireCodecKinds(b *testing.B) {
 }
 
 // RBLintSuite measures a full run of the static analysis suite — all
-// ten analyzers, CFG and call-graph construction, lock summaries, and
-// taint dataflow — over the protocol state machine package. Loading and
-// type-checking happen once outside the timer; the loop measures pure
-// analysis cost.
+// twelve analyzers, CFG and call-graph construction, lock summaries,
+// taint dataflow, and the abstract-interpretation layer (interval
+// inference, effect summaries, and the quorum prover) — over the
+// protocol state machine package and the simulated network package.
+// Both are in scope: core exercises quorumlint's relational proofs,
+// netsim exercises lanelint's whole-program lane-provenance walk.
+// Loading and type-checking happen once outside the timer; the loop
+// measures pure analysis cost.
 func RBLintSuite(b *testing.B) {
 	b.ReportAllocs()
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		b.Fatal(err)
 	}
-	pkg, err := loader.Load(filepath.Join(loader.ModRoot, "internal", "core"), "rbcast/internal/core")
+	core, err := loader.Load(filepath.Join(loader.ModRoot, "internal", "core"), "rbcast/internal/core")
+	if err != nil {
+		b.Fatal(err)
+	}
+	netsim, err := loader.Load(filepath.Join(loader.ModRoot, "internal", "netsim"), "rbcast/internal/netsim")
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := analysis.RunPackage(loader, pkg, analysis.Analyzers()); err != nil {
-			b.Fatal(err)
+		for _, pkg := range []*analysis.Package{core, netsim} {
+			if _, err := analysis.RunPackage(loader, pkg, analysis.Analyzers()); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -88,6 +88,30 @@ func (h *Host) echoSt(seq seqset.Seq) *echoState {
 	return st
 }
 
+// The quorum inequalities. Write n = len(h.peers) and f = byzF(). The
+// agreement argument below rests on four arithmetic facts, which
+// quorumlint (internal/analysis) proves mechanically for *every*
+// parameter combination Params.Validate admits — the prose here is the
+// why, the analyzer is the guarantee that edits keep it true:
+//
+//   intersection   2·echoQuorum − n − f − 1 ≥ 0
+//     Two echo quorums for different digests overlap in at least
+//     2·eq − n ≥ f+1 hosts; at most f of those are faulty, so an
+//     honest host would have to echo both digests — and honest hosts
+//     echo once. Hence at most one digest can reach echoQuorum.
+//   honest majority   readyQuorum − 2f − 1 ≥ 0
+//     A delivered ready quorum of 2f+1 contains at least f+1 correct
+//     hosts, enough to keep answering retransmit requests forever.
+//   amplification   readyAmplify − f − 1 ≥ 0
+//     f+1 readies exceed the faulty population, so at least one came
+//     from a correct host that saw an echo quorum first-hand.
+//   defaulting   f ≤ ⌊(n−1)/3⌋ when EchoMaxFaulty is unset
+//     The defaulted budget respects the classical n > 3f resilience
+//     bound.
+//
+// quorumlint additionally proves the threshold arithmetic overflow-free;
+// that proof needs f bounded, which is what Params.MaxEchoFaulty is for.
+
 // byzF is the assumed Byzantine budget f for quorum sizing.
 func (h *Host) byzF() int {
 	if h.params.EchoMaxFaulty > 0 {

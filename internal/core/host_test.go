@@ -141,6 +141,16 @@ func TestParamsValidation(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Error("ParentTimeout <= InfoClusterPeriod accepted")
 	}
+	bad = p
+	bad.EchoReady = true
+	bad.EchoMaxFaulty = core.MaxEchoFaulty + 1
+	if bad.Validate() == nil {
+		t.Error("EchoMaxFaulty above MaxEchoFaulty accepted")
+	}
+	bad.EchoMaxFaulty = core.MaxEchoFaulty
+	if err := bad.Validate(); err != nil {
+		t.Errorf("EchoMaxFaulty == MaxEchoFaulty rejected: %v", err)
+	}
 }
 
 func TestSourceBroadcast(t *testing.T) {

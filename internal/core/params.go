@@ -190,6 +190,14 @@ type Params struct {
 	SnapChunk int
 }
 
+// MaxEchoFaulty caps an explicit EchoMaxFaulty budget. Quorum sizing in
+// echo.go computes (n+f)/2+1 and 2f+1; bounding f keeps that arithmetic
+// provably overflow-free for every admitted parameter combination
+// (quorumlint discharges the proof over exactly this range) while
+// sitting far above any plausible deployment — f is classically at most
+// ⌊(n−1)/3⌋, and no simulated network approaches a million hosts.
+const MaxEchoFaulty = 1 << 20
+
 // BackoffEnabled reports whether the per-peer health/backoff layer is
 // active. The zero value of the backoff fields leaves scheduling
 // byte-identical to the fixed-rate protocol.
@@ -288,6 +296,9 @@ func (p Params) Validate() error {
 	}
 	if p.EchoMaxFaulty < 0 {
 		return fmt.Errorf("core: EchoMaxFaulty must be ≥ 0, got %d", p.EchoMaxFaulty)
+	}
+	if p.EchoMaxFaulty > MaxEchoFaulty {
+		return fmt.Errorf("core: EchoMaxFaulty must be ≤ %d, got %d", MaxEchoFaulty, p.EchoMaxFaulty)
 	}
 	if p.EchoMaxFaulty > 0 && !p.EchoReady {
 		return errors.New("core: EchoMaxFaulty set without EchoReady")
